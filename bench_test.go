@@ -1,0 +1,276 @@
+package p2g
+
+// Benchmarks mirroring the paper's evaluation artifacts (run the full
+// parameter sweeps with cmd/p2gbench; these testing.B targets exercise the
+// same code paths at sizes suitable for `go test -bench`):
+//
+//	BenchmarkFig9MJPEG     — figure 9: MJPEG encode across worker counts
+//	BenchmarkFig10KMeans   — figure 10: K-means across worker counts
+//	BenchmarkTableII*      — Table II rows: per-instance yDCT and VLC cost
+//	BenchmarkTableIII*     — Table III rows: per-instance assign/refine cost
+//	BenchmarkBaseline*     — §VIII-A standalone encoder / sequential K-means
+//	BenchmarkDispatch      — per-instance dispatch overhead (Tables II/III)
+//	BenchmarkGranularity   — §V-A data-granularity ablation
+//	BenchmarkFusion        — figure 4 Age=3 task-combining ablation
+//	BenchmarkPartition     — §IV HLS partitioning methods
+//	BenchmarkDCT           — naive vs AAN fast DCT (ref [2])
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kmeans"
+	"repro/internal/lang"
+	"repro/internal/mjpeg"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/video"
+	"repro/internal/workloads"
+)
+
+func benchWorkers(b *testing.B, run func(workers int) error) {
+	b.Helper()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := run(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig9MJPEG(b *testing.B) {
+	const frames = 2
+	benchWorkers(b, func(w int) error {
+		prog := workloads.MJPEG(workloads.MJPEGConfig{
+			Source:  video.NewCIFSource(frames, 42),
+			FastDCT: true, // keep bench iterations fast; shape is identical
+		})
+		_, err := runtime.Run(prog, runtime.Options{Workers: w})
+		return err
+	})
+}
+
+func BenchmarkFig10KMeans(b *testing.B) {
+	cfg := workloads.KMeansConfig{N: 500, K: 25, Iter: 5, Dim: 2, Seed: 7}
+	benchWorkers(b, func(w int) error {
+		_, err := runtime.Run(workloads.KMeans(cfg), workloads.KMeansOptions(cfg, w))
+		return err
+	})
+}
+
+// BenchmarkTableII_DCT measures the work of one yDCT kernel instance with the
+// naive transform — the paper's 170µs row.
+func BenchmarkTableII_DCT(b *testing.B) {
+	f, _ := video.NewCIFSource(1, 42).Next()
+	blocks := mjpeg.ExtractBlocks(f.Y, f.W, f.H)
+	qt := mjpeg.LumaQuant(75)
+	var out mjpeg.Block
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mjpeg.DCTQuantBlock(&blocks[i%len(blocks)], qt, false, &out)
+	}
+}
+
+// BenchmarkTableII_VLC measures one VLC+write instance: entropy coding a full
+// CIF frame — the paper's 2160µs row.
+func BenchmarkTableII_VLC(b *testing.B) {
+	f, _ := video.NewCIFSource(1, 42).Next()
+	enc := &mjpeg.Encoder{}
+	qY, qC := enc.Tables()
+	in := mjpeg.SplitYUV(f)
+	var coeffs [3][]mjpeg.Block
+	for ci := range in {
+		qt := qY
+		if ci > 0 {
+			qt = qC
+		}
+		out := make([]mjpeg.Block, len(in[ci]))
+		for i := range in[ci] {
+			mjpeg.DCTQuantBlock(&in[ci][i], qt, true, &out[i])
+		}
+		coeffs[ci] = out
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mjpeg.EncodeFrameJPEG(&coeffs, f.W, f.H, qY, qC)
+	}
+}
+
+// BenchmarkTableIII_Assign measures one assign kernel instance — the paper's
+// 6.95µs row (n=2000, k=100).
+func BenchmarkTableIII_Assign(b *testing.B) {
+	pts := kmeans.Generate(2000, 2, 100, 7)
+	cents := kmeans.InitialCentroids(pts, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kmeans.Assign(pts[i%len(pts)], cents)
+	}
+}
+
+// BenchmarkTableIII_Refine measures one refine kernel instance — the paper's
+// 92.91µs row.
+func BenchmarkTableIII_Refine(b *testing.B) {
+	pts := kmeans.Generate(2000, 2, 100, 7)
+	cents := kmeans.InitialCentroids(pts, 100)
+	membership := make([]int, len(pts))
+	for i, p := range pts {
+		membership[i] = kmeans.Assign(p, cents)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kmeans.Refine(i%100, pts, membership, cents[i%100])
+	}
+}
+
+// BenchmarkBaselineMJPEG is the §VIII-A standalone single-threaded encoder,
+// per CIF frame.
+func BenchmarkBaselineMJPEG(b *testing.B) {
+	f, _ := video.NewCIFSource(1, 42).Next()
+	enc := &mjpeg.Encoder{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.EncodeFrame(f)
+	}
+}
+
+func BenchmarkBaselineKMeansSequential(b *testing.B) {
+	pts := kmeans.Generate(500, 2, 25, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kmeans.Sequential(pts, 25, 5)
+	}
+}
+
+// BenchmarkDispatch isolates per-instance runtime overhead: mul2/plus5
+// instances do almost no kernel work, so wall time is dominated by dispatch
+// and analysis — the overhead column of Tables II/III.
+func BenchmarkDispatch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := runtime.Run(workloads.MulSum(), runtime.Options{Workers: 1, MaxAge: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.Kernel("mul2").DispatchPer().Nanoseconds()), "dispatch-ns/inst")
+		}
+	}
+}
+
+func BenchmarkGranularity(b *testing.B) {
+	cfg := workloads.KMeansConfig{N: 1000, K: 20, Iter: 4, Dim: 2, Seed: 7}
+	for _, g := range []int{1, 32, 250} {
+		b.Run(fmt.Sprintf("slab=%d", g), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := workloads.KMeansOptions(cfg, 2)
+				opts.Granularity = map[string]int{"assign": g}
+				if _, err := runtime.Run(workloads.KMeans(cfg), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFusion(b *testing.B) {
+	fused, err := core.Fuse(workloads.MulSum(), "mul2", "plus5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		prog func() *core.Program
+	}{
+		{"separate", workloads.MulSum},
+		{"fused", func() *core.Program { return fused }},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := runtime.Run(c.prog(), runtime.Options{Workers: 2, MaxAge: 500}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPartition(b *testing.B) {
+	prog := workloads.MJPEG(workloads.MJPEGConfig{Source: video.NewCIFSource(1, 1)})
+	g := graph.BuildFinal(prog)
+	topo := sched.NewTopology(4, 4)
+	for _, m := range []sched.Method{sched.Greedy, sched.KL, sched.Tabu} {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sched.Partition(g, topo, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDCT(b *testing.B) {
+	f, _ := video.NewCIFSource(1, 42).Next()
+	blocks := mjpeg.ExtractBlocks(f.Y, f.W, f.H)
+	var out [64]float64
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mjpeg.DCTNaive(&blocks[i%len(blocks)], &out)
+		}
+	})
+	b.Run("aan-fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mjpeg.DCTFast(&blocks[i%len(blocks)], &out)
+		}
+	})
+}
+
+// BenchmarkLangCompile measures kernel-language compilation (the p2gc path).
+func BenchmarkLangCompile(b *testing.B) {
+	src := mustReadTestdata(b, "testdata/mulsum.p2g")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lang.Compile("mulsum", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLangInterp compares interpreted kernel bodies against native Go
+// bodies on the same program.
+func BenchmarkLangInterp(b *testing.B) {
+	src := mustReadTestdata(b, "testdata/mulsum.p2g")
+	prog, err := lang.Compile("mulsum", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := runtime.Run(prog, runtime.Options{Workers: 1, MaxAge: 200, Output: io.Discard}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := runtime.Run(workloads.MulSum(), runtime.Options{Workers: 1, MaxAge: 200, Output: io.Discard}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func mustReadTestdata(b *testing.B, path string) string {
+	b.Helper()
+	data, err := readFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}

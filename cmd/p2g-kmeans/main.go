@@ -1,0 +1,63 @@
+// p2g-kmeans runs the K-means clustering workload (paper figure 7) on the
+// P2G runtime, or sequentially for comparison.
+//
+// Usage:
+//
+//	p2g-kmeans -n 2000 -k 100 -iters 10 -workers 4
+//	p2g-kmeans -mode sequential -n 2000 -k 100 -iters 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/kmeans"
+	"repro/internal/runtime"
+	"repro/internal/workloads"
+)
+
+func main() {
+	mode := flag.String("mode", "p2g", "p2g or sequential")
+	n := flag.Int("n", 2000, "datapoints")
+	k := flag.Int("k", 100, "clusters")
+	dim := flag.Int("dim", 2, "point dimensionality")
+	iters := flag.Int("iters", 10, "iterations")
+	seed := flag.Uint64("seed", 7, "dataset seed")
+	workers := flag.Int("workers", 4, "P2G worker threads")
+	verbose := flag.Bool("v", false, "print per-iteration summaries (p2g mode)")
+	flag.Parse()
+
+	cfg := workloads.KMeansConfig{N: *n, K: *k, Dim: *dim, Iter: *iters, Seed: *seed}
+	switch *mode {
+	case "sequential":
+		pts := kmeans.Generate(cfg.N, cfg.Dim, cfg.K, cfg.Seed)
+		start := time.Now()
+		res := kmeans.Sequential(pts, cfg.K, cfg.Iter)
+		fmt.Printf("sequential: %v, final shift %.4f, inertia %.2f\n",
+			time.Since(start), res.Shifts[len(res.Shifts)-1],
+			kmeans.Inertia(pts, res.Centroids, res.Membership))
+	case "p2g":
+		opts := workloads.KMeansOptions(cfg, *workers)
+		if *verbose {
+			opts.Output = os.Stdout
+		}
+		node, err := runtime.NewNode(workloads.KMeans(cfg), opts)
+		if err != nil {
+			fail(err)
+		}
+		report, err := node.Run()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("p2g: %d workers, wall time %v\n%s", *workers, report.Wall, report.Table())
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "p2g-kmeans:", err)
+	os.Exit(1)
+}

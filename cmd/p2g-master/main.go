@@ -1,0 +1,92 @@
+// p2g-master runs a P2G master node (paper figure 1): it waits for a fixed
+// number of execution nodes to register over TCP, partitions the chosen
+// workload with the high-level scheduler, brokers events between nodes,
+// detects global quiescence and prints the collected instrumentation.
+//
+// Usage:
+//
+//	p2g-master -listen :7420 -nodes 2 -workload kmeans:n=2000,k=100,iter=10
+//	p2g-worker -master host:7420 -id a -cores 4 &
+//	p2g-worker -master host:7420 -id b -cores 4 &
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+func main() {
+	listen := flag.String("listen", ":7420", "TCP listen address")
+	nodes := flag.Int("nodes", 2, "execution nodes to wait for")
+	workload := flag.String("workload", "mulsum", "workload spec (mulsum | kmeans:... | mjpeg:...)")
+	method := flag.String("method", "kl", "partitioning method: greedy, kl or tabu")
+	flag.Parse()
+
+	workloads.RegisterPayloads()
+	prog, err := workloads.FromSpec(*workload)
+	if err != nil {
+		fail(err)
+	}
+	var m sched.Method
+	switch *method {
+	case "greedy":
+		m = sched.Greedy
+	case "kl":
+		m = sched.KL
+	case "tabu":
+		m = sched.Tabu
+	default:
+		fail(fmt.Errorf("unknown method %q", *method))
+	}
+
+	l, err := dist.ListenTCP(*listen)
+	if err != nil {
+		fail(err)
+	}
+	defer l.Close()
+	fmt.Fprintf(os.Stderr, "p2g-master: listening on %s, waiting for %d nodes\n", l.Addr(), *nodes)
+	conns := make([]dist.Conn, *nodes)
+	for i := range conns {
+		c, err := l.Accept()
+		if err != nil {
+			fail(err)
+		}
+		conns[i] = c
+		fmt.Fprintf(os.Stderr, "p2g-master: node %d/%d connected\n", i+1, *nodes)
+	}
+
+	res, err := dist.RunMaster(dist.MasterConfig{Prog: prog, Method: m, Spec: *workload}, conns)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("workload %q partitioned with %s (cut %.1f, imbalance %.2f)\n",
+		*workload, *method, res.Cost.Cut, res.Cost.Imbalance)
+	var kernels []string
+	for k := range res.Assignment {
+		kernels = append(kernels, k)
+	}
+	sort.Strings(kernels)
+	for _, k := range kernels {
+		fmt.Printf("  %-16s -> node %d\n", k, res.Assignment[k])
+	}
+	var ids []string
+	for id := range res.Reports {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Printf("-- %s --\n%s", id, res.Reports[id].Table())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "p2g-master:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// p2g-worker runs a P2G execution node: it registers with a master over TCP,
+// receives its kernel partition and executes it, exchanging store and
+// completion events with the rest of the cluster through the master's
+// publish-subscribe broker.
+//
+// Usage:
+//
+//	p2g-worker -master host:7420 -id node-a -cores 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dist"
+	"repro/internal/workloads"
+)
+
+func main() {
+	master := flag.String("master", "127.0.0.1:7420", "master address")
+	id := flag.String("id", "", "node identifier (default: host PID based)")
+	cores := flag.Int("cores", 2, "worker threads on this node")
+	speed := flag.Float64("speed", 1, "relative speed factor reported to the master")
+	flag.Parse()
+
+	workloads.RegisterPayloads()
+	if *id == "" {
+		host, _ := os.Hostname()
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	conn, err := dist.DialTCP(*master)
+	if err != nil {
+		fail(err)
+	}
+	rep, err := dist.RunWorker(dist.WorkerConfig{
+		NodeID:        *id,
+		Cores:         *cores,
+		Speed:         *speed,
+		Factory:       workloads.FromSpec,
+		BoundsFactory: workloads.SpecBounds,
+		Output:        os.Stdout,
+	}, conn)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "p2g-worker %s: done\n%s", *id, rep.Table())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "p2g-worker:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// p2grun compiles and executes a P2G kernel-language program on a local
+// execution node.
+//
+// Usage:
+//
+//	p2grun [-workers N] [-maxage N] [-bound kernel=age,...] program.p2g
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/runtime"
+)
+
+func main() {
+	workers := flag.Int("workers", 1, "worker threads")
+	maxAge := flag.Int("maxage", 0, "global age bound (0 = unbounded)")
+	bounds := flag.String("bound", "", "per-kernel age bounds, e.g. assign=9,refine=9,print=10")
+	stats := flag.Bool("stats", false, "print the instrumentation table after the run")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: p2grun [-workers N] [-maxage N] [-bound k=a,...] [-stats] program.p2g")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	prog, err := lang.Compile(strings.TrimSuffix(path, ".p2g"), string(src))
+	if err != nil {
+		fail("%s:%v", path, err)
+	}
+
+	opts := runtime.Options{Workers: *workers, MaxAge: *maxAge, Output: os.Stdout}
+	if *bounds != "" {
+		opts.KernelMaxAge = map[string]int{}
+		for _, part := range strings.Split(*bounds, ",") {
+			kv := strings.SplitN(part, "=", 2)
+			if len(kv) != 2 {
+				fail("bad -bound entry %q", part)
+			}
+			age, err := strconv.Atoi(kv[1])
+			if err != nil {
+				fail("bad -bound age in %q", part)
+			}
+			opts.KernelMaxAge[kv[0]] = age
+		}
+	}
+
+	report, err := runtime.Run(prog, opts)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(report.Stalled) > 0 {
+		fmt.Fprintln(os.Stderr, "p2grun: warning: stalled kernel-ages (unsatisfied dependencies):")
+		for _, s := range report.Stalled {
+			fmt.Fprintln(os.Stderr, "  ", s)
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "\nwall time: %v\n%s", report.Wall, report.Table())
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "p2grun: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Deadline example: the paper's §V-B deadline mechanism in action. A live
+// "transcoder" pipeline processes a stream of frames with a per-frame time
+// budget; each encode instance polls a global timer and takes the high
+// quality path while the budget holds, switching to a cheap fallback path —
+// by storing to a different field, exactly as the paper describes — once the
+// deadline has expired.
+//
+// Run with:
+//
+//	go run ./examples/deadline -frames 12 -budget 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/field"
+)
+
+func main() {
+	frames := flag.Int("frames", 12, "frames in the live stream")
+	budgetMS := flag.Int("budget", 30, "total deadline budget in milliseconds")
+	workers := flag.Int("workers", 2, "P2G worker threads")
+	flag.Parse()
+
+	b := p2g.NewBuilder("deadline-transcode")
+	b.Timer("t1")
+	b.Field("input", p2g.Int32, 1, true)
+	b.Field("highq", p2g.Int32, 1, true)
+	b.Field("lowq", p2g.Int32, 1, true)
+
+	b.Kernel("capture").Age("a").
+		Local("frame", p2g.Int32, 1).
+		StoreAll("input", p2g.AgeVar(0), "frame").
+		Body(func(c *p2g.Ctx) error {
+			if c.Age() >= *frames {
+				return nil // end of stream
+			}
+			fr := c.Array("frame")
+			for i := 0; i < 4; i++ {
+				fr.Put(field.Int32Val(int32(c.Age()*100+i)), i)
+			}
+			return nil
+		})
+
+	budget := time.Duration(*budgetMS) * time.Millisecond
+	b.Kernel("encode").Age("a").Index("x").
+		Local("v", p2g.Int32, 0).
+		Local("hq", p2g.Int32, 0).
+		Local("lq", p2g.Int32, 0).
+		Fetch("v", "input", p2g.AgeVar(0), p2g.Idx("x")).
+		Store("highq", p2g.AgeVar(0), []p2g.IndexSpec{p2g.Idx("x")}, "hq").
+		Store("lowq", p2g.AgeVar(0), []p2g.IndexSpec{p2g.Idx("x")}, "lq").
+		Body(func(c *p2g.Ctx) error {
+			late, err := c.Expired("t1", budget)
+			if err != nil {
+				return err
+			}
+			if late {
+				// Fallback path: cheap transform, alternate field.
+				c.SetInt32("lq", c.Int32("v")/2)
+				return nil
+			}
+			// Primary path: "expensive" high-quality encode.
+			time.Sleep(2 * time.Millisecond)
+			c.SetInt32("hq", c.Int32("v")*10)
+			return nil
+		})
+
+	b.Kernel("mux").Age("a").
+		Local("h", p2g.Int32, 1).
+		Local("l", p2g.Int32, 1).
+		FetchAll("h", "highq", p2g.AgeVar(0)).
+		FetchAll("l", "lowq", p2g.AgeVar(0)).
+		Body(func(c *p2g.Ctx) error {
+			h, l := c.Array("h"), c.Array("l")
+			hi, lo := 0, 0
+			for i := 0; i < h.Extent(0); i++ {
+				if !h.At(i).IsZero() {
+					hi++
+				}
+			}
+			for i := 0; i < l.Extent(0); i++ {
+				if !l.At(i).IsZero() {
+					lo++
+				}
+			}
+			c.Printf("frame %2d: %d blocks high quality, %d fallback\n", c.Age(), hi, lo)
+			return nil
+		})
+
+	prog, err := b.Build()
+	if err != nil {
+		fail(err)
+	}
+	report, err := p2g.Run(prog, p2g.Options{Workers: *workers, Output: os.Stdout})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nstream of %d frames finished in %v; once the %v budget expired,\n", *frames, report.Wall, budget)
+	fmt.Println("encode instances switched to the fallback path by storing to the alternate field.")
+	fmt.Print(report.Table())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "deadline example:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Wavefront example: the paper's §III motivating case — H.264-style
+// intra-frame prediction, where every sub-block depends on its left and top
+// neighbours. The program never orders the blocks; the dependency analyzer
+// derives the diagonal wavefront from the offset fetch coordinates, and the
+// instrumentation shows all N*N blocks ran as independent instances.
+//
+// Run with:
+//
+//	go run ./examples/wavefront -blocks 32 -frames 4 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/workloads"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 32, "blocks per frame edge (NxN total)")
+	frames := flag.Int("frames", 4, "frames to process")
+	workers := flag.Int("workers", 4, "worker threads")
+	flag.Parse()
+
+	cfg := p2g.WavefrontConfig{Blocks: *blocks, Frames: *frames, Seed: 11}
+	node, err := p2g.NewNode(p2g.Wavefront(cfg), p2g.Options{Workers: *workers})
+	if err != nil {
+		fail(err)
+	}
+	report, err := node.Run()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("intra-predicted %d frames of %dx%d blocks with %d workers in %v\n",
+		*frames, *blocks, *blocks, *workers, report.Wall)
+	fmt.Print(report.Table())
+
+	// Verify against the raster-order sequential reference.
+	in, err := node.Snapshot("input", 0)
+	if err != nil {
+		fail(err)
+	}
+	frame := make([][]int32, *blocks)
+	for x := range frame {
+		frame[x] = make([]int32, *blocks)
+		for y := range frame[x] {
+			frame[x][y] = in.At(x, y).Int32()
+		}
+	}
+	want := workloads.WavefrontSequential(frame)
+	pred, err := node.Snapshot("pred", 0)
+	if err != nil {
+		fail(err)
+	}
+	exact := true
+	for x := 0; x < *blocks; x++ {
+		for y := 0; y < *blocks; y++ {
+			if pred.At(x+1, y+1).Int32() != want[x][y] {
+				exact = false
+			}
+		}
+	}
+	fmt.Printf("reconstruction matches the sequential raster-order reference: %v\n", exact)
+	fmt.Println("(no kernel ordered the blocks — the analyzer found the wavefront)")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wavefront example:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+package core
+
+import "repro/internal/field"
+
+// Builder assembles a Program through a fluent interface. It is the Go-native
+// front-end to P2G, mirroring the kernel language one statement at a time:
+//
+//	b := core.NewBuilder("mulsum")
+//	b.Field("m_data", field.Int32, 1, true)
+//	b.Field("p_data", field.Int32, 1, true)
+//	b.Kernel("mul2").Age("a").Index("x").
+//		Local("value", field.Int32, 0).
+//		Fetch("value", "m_data", core.AgeVar(0), core.Idx("x")).
+//		Store("p_data", core.AgeVar(0), core.Idx("x"), "value").
+//		Body(func(c *core.Ctx) error {
+//			c.SetInt32("value", c.Int32("value")*2)
+//			return nil
+//		})
+//	prog, err := b.Build()
+//
+// Build validates the program; all structural errors surface there rather
+// than panicking mid-construction.
+type Builder struct {
+	prog Program
+}
+
+// NewBuilder starts a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: Program{Name: name}}
+}
+
+// Field declares a global field and returns the builder for chaining.
+func (b *Builder) Field(name string, kind field.Kind, rank int, aged bool) *Builder {
+	b.prog.Fields = append(b.prog.Fields, &FieldDecl{Name: name, Kind: kind, Rank: rank, Aged: aged})
+	return b
+}
+
+// Timer declares a global timer.
+func (b *Builder) Timer(name string) *Builder {
+	b.prog.Timers = append(b.prog.Timers, name)
+	return b
+}
+
+// Kernel starts a kernel declaration.
+func (b *Builder) Kernel(name string) *KernelBuilder {
+	k := &KernelDecl{Name: name}
+	b.prog.Kernels = append(b.prog.Kernels, k)
+	return &KernelBuilder{k: k}
+}
+
+// Build validates the assembled program and returns it.
+func (b *Builder) Build() (*Program, error) {
+	p := b.prog // shallow copy; declarations are shared intentionally
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// KernelBuilder assembles one kernel declaration.
+type KernelBuilder struct {
+	k *KernelDecl
+}
+
+// Age declares the kernel's age variable.
+func (kb *KernelBuilder) Age(name string) *KernelBuilder {
+	kb.k.AgeVar = name
+	return kb
+}
+
+// Index declares one or more index variables.
+func (kb *KernelBuilder) Index(names ...string) *KernelBuilder {
+	kb.k.IndexVars = append(kb.k.IndexVars, names...)
+	return kb
+}
+
+// Local declares a kernel-scope local; rank 0 is a scalar, rank >= 1 a local
+// array.
+func (kb *KernelBuilder) Local(name string, kind field.Kind, rank int) *KernelBuilder {
+	kb.k.Locals = append(kb.k.Locals, LocalDecl{Name: name, Kind: kind, Rank: rank})
+	return kb
+}
+
+// Fetch declares an element fetch: local = fieldName(age)[idx...].
+func (kb *KernelBuilder) Fetch(local, fieldName string, age AgeExpr, idx ...IndexSpec) *KernelBuilder {
+	if idx == nil {
+		idx = []IndexSpec{}
+	}
+	kb.k.Fetches = append(kb.k.Fetches, FetchStmt{Local: local, Field: fieldName, Age: age, Index: idx})
+	return kb
+}
+
+// FetchAll declares a whole-field fetch: local = fieldName(age).
+func (kb *KernelBuilder) FetchAll(local, fieldName string, age AgeExpr) *KernelBuilder {
+	kb.k.Fetches = append(kb.k.Fetches, FetchStmt{Local: local, Field: fieldName, Age: age})
+	return kb
+}
+
+// Store declares an element store: fieldName(age)[idx...] = local.
+func (kb *KernelBuilder) Store(fieldName string, age AgeExpr, idx []IndexSpec, local string) *KernelBuilder {
+	if idx == nil {
+		idx = []IndexSpec{}
+	}
+	kb.k.Stores = append(kb.k.Stores, StoreStmt{Field: fieldName, Age: age, Index: idx, Local: local})
+	return kb
+}
+
+// StoreAll declares a whole-field store: fieldName(age) = local.
+func (kb *KernelBuilder) StoreAll(fieldName string, age AgeExpr, local string) *KernelBuilder {
+	kb.k.Stores = append(kb.k.Stores, StoreStmt{Field: fieldName, Age: age, Local: local})
+	return kb
+}
+
+// Body installs the kernel body and returns the underlying declaration.
+func (kb *KernelBuilder) Body(fn func(*Ctx) error) *KernelBuilder {
+	kb.k.Body = fn
+	return kb
+}
+
+// Decl returns the kernel declaration under construction.
+func (kb *KernelBuilder) Decl() *KernelDecl { return kb.k }

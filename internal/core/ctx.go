@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/deadline"
+	"repro/internal/field"
+)
+
+// Ctx is the execution context of one kernel instance. The runtime populates
+// it with the instance's age, index-variable bindings and fetched locals,
+// runs the kernel body, and then applies the declared stores for every local
+// the body left bound.
+//
+// Binding rules (what makes a declared store fire):
+//   - a local fetched by a fetch statement is bound;
+//   - a scalar local becomes bound when the body calls Set (or a typed
+//     setter);
+//   - an array local becomes bound the first time the body accesses it with
+//     Array (mutating a local array implies producing it).
+//
+// Leaving a store's source local unbound suppresses that store, which is how
+// kernels take alternate code paths (deadline timeouts, end of stream).
+type Ctx struct {
+	kernel *KernelDecl
+	age    int
+	index  map[string]int
+	vals   map[string]field.Value
+	bound  map[string]bool
+	stop   bool
+	timers *deadline.TimerSet
+	out    io.Writer
+}
+
+// NewCtx assembles a context for one instance. The runtime is the only
+// expected caller, but the constructor is exported so tests and alternative
+// runtimes can drive kernel bodies directly.
+func NewCtx(k *KernelDecl, age int, index map[string]int, timers *deadline.TimerSet, out io.Writer) *Ctx {
+	c := &Ctx{
+		kernel: k,
+		age:    age,
+		index:  index,
+		vals:   make(map[string]field.Value, len(k.Locals)),
+		bound:  make(map[string]bool, len(k.Locals)),
+		timers: timers,
+		out:    out,
+	}
+	for _, l := range k.Locals {
+		if l.Rank > 0 {
+			c.vals[l.Name] = field.ArrayVal(field.NewArray(l.Kind, make([]int, l.Rank)...))
+		} else {
+			c.vals[l.Name] = field.Zero(l.Kind)
+		}
+	}
+	return c
+}
+
+// Kernel returns the kernel declaration this instance executes.
+func (c *Ctx) Kernel() *KernelDecl { return c.kernel }
+
+// Age returns the instance's age (0 for run-once kernels).
+func (c *Ctx) Age() int { return c.age }
+
+// Index returns the value of the named index variable. It panics on unknown
+// variables, which indicates a program bug.
+func (c *Ctx) Index(name string) int {
+	v, ok := c.index[name]
+	if !ok {
+		panic(fmt.Sprintf("p2g: kernel %s has no index variable %q", c.kernel.Name, name))
+	}
+	return v
+}
+
+// Get returns the named local's current value. Unknown locals panic.
+func (c *Ctx) Get(name string) field.Value {
+	v, ok := c.vals[name]
+	if !ok {
+		panic(fmt.Sprintf("p2g: kernel %s has no local %q", c.kernel.Name, name))
+	}
+	return v
+}
+
+// Set assigns the named local and marks it bound.
+func (c *Ctx) Set(name string, v field.Value) {
+	if _, ok := c.vals[name]; !ok {
+		panic(fmt.Sprintf("p2g: kernel %s has no local %q", c.kernel.Name, name))
+	}
+	c.vals[name] = v
+	c.bound[name] = true
+}
+
+// BindFetched is used by the runtime to install a fetched value; it binds the
+// local like Set.
+func (c *Ctx) BindFetched(name string, v field.Value) { c.Set(name, v) }
+
+// Bound reports whether the named local has been bound in this instance.
+func (c *Ctx) Bound(name string) bool { return c.bound[name] }
+
+// Int32 returns the named scalar local as int32.
+func (c *Ctx) Int32(name string) int32 { return c.Get(name).Int32() }
+
+// Int64 returns the named scalar local as int64.
+func (c *Ctx) Int64(name string) int64 { return c.Get(name).Int64() }
+
+// Float64 returns the named scalar local as float64.
+func (c *Ctx) Float64(name string) float64 { return c.Get(name).Float64() }
+
+// Obj returns the named Any local's payload.
+func (c *Ctx) Obj(name string) any { return c.Get(name).Obj() }
+
+// SetInt32 assigns an int32 scalar local.
+func (c *Ctx) SetInt32(name string, v int32) { c.Set(name, field.Int32Val(v)) }
+
+// SetInt64 assigns an int64 scalar local.
+func (c *Ctx) SetInt64(name string, v int64) { c.Set(name, field.Int64Val(v)) }
+
+// SetFloat64 assigns a float64 scalar local.
+func (c *Ctx) SetFloat64(name string, v float64) { c.Set(name, field.Float64Val(v)) }
+
+// SetObj assigns an Any scalar local.
+func (c *Ctx) SetObj(name string, v any) { c.Set(name, field.AnyVal(v)) }
+
+// Array returns the named array local for reading or in-place mutation and
+// marks it bound (mutating a local array implies producing it).
+func (c *Ctx) Array(name string) *field.Array {
+	v := c.Get(name)
+	if !v.IsArray() {
+		panic(fmt.Sprintf("p2g: local %q of kernel %s is not an array", name, c.kernel.Name))
+	}
+	c.bound[name] = true
+	return v.Array()
+}
+
+// Stop marks a source kernel as finished: no instance will be scheduled for
+// the next age. Calling Stop from non-source kernels is allowed and ignored
+// by the runtime.
+func (c *Ctx) Stop() { c.stop = true }
+
+// Stopped reports whether the body called Stop.
+func (c *Ctx) Stopped() bool { return c.stop }
+
+// Printf writes formatted output to the program's output stream (the kernel
+// language's cout). Instances run in parallel; each Printf call is a single
+// Write, so lines from different instances interleave but do not tear.
+func (c *Ctx) Printf(format string, args ...any) {
+	if c.out != nil {
+		fmt.Fprintf(c.out, format, args...)
+	}
+}
+
+// Now returns the current instant on the program's deadline clock.
+func (c *Ctx) Now() time.Time {
+	if c.timers == nil {
+		return time.Now()
+	}
+	return c.timers.Now()
+}
+
+// ResetTimer records the current instant as the named global timer's
+// reference point (`t1 = now`).
+func (c *Ctx) ResetTimer(name string) {
+	if c.timers != nil {
+		c.timers.Reset(name)
+	}
+}
+
+// Expired reports whether more than d has passed since the named timer's
+// reference point (`now > t1 + d`). It returns false with an error for
+// undeclared timers.
+func (c *Ctx) Expired(name string, d time.Duration) (bool, error) {
+	if c.timers == nil {
+		return false, fmt.Errorf("p2g: program has no timers")
+	}
+	return c.timers.Expired(name, d)
+}
+
+// Timers exposes the underlying timer set (nil if the program declared no
+// timers and the runtime did not install one).
+func (c *Ctx) Timers() *deadline.TimerSet { return c.timers }

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Out returns the program output stream of this context (the kernel
+// language's cout target). Used by program transforms that run kernel bodies
+// in sub-contexts.
+func (c *Ctx) Out() io.Writer { return c.out }
+
+// Fuse returns a copy of the program in which kernel down is merged into
+// kernel up, implementing the low-level scheduler's task-combining decision
+// from the paper's figure 4 (Age=3): the two kernels become one, down's
+// fetches of fields produced by up are satisfied in-memory, and both kernels'
+// store operations are deferred until both bodies have run. Up's stores are
+// preserved (other kernels, like the paper's print, may still read the
+// intermediate field).
+//
+// Fusion requires a direct element-wise pipeline: every fetch of down on a
+// field stored by up must be an element fetch whose age expression and index
+// coordinates are structurally identical to up's element store. Programs that
+// do not meet the conditions are rejected with an error.
+func Fuse(p *Program, upName, downName string) (*Program, error) {
+	up := p.Kernel(upName)
+	down := p.Kernel(downName)
+	if up == nil || down == nil {
+		return nil, fmt.Errorf("p2g: fuse: unknown kernel %q or %q", upName, downName)
+	}
+	if up == down {
+		return nil, fmt.Errorf("p2g: fuse: cannot fuse kernel %q with itself", upName)
+	}
+	if (up.AgeVar == "") != (down.AgeVar == "") {
+		return nil, fmt.Errorf("p2g: fuse: %q and %q disagree on having an age variable", upName, downName)
+	}
+
+	produced := map[string][]*StoreStmt{}
+	for i := range up.Stores {
+		s := &up.Stores[i]
+		produced[s.Field] = append(produced[s.Field], s)
+	}
+
+	// Split down's fetches into internal (satisfied by up's stores) and
+	// external ones.
+	var internal []FetchStmt
+	var external []FetchStmt
+	for _, f := range down.Fetches {
+		stores, ok := produced[f.Field]
+		if !ok {
+			external = append(external, f)
+			continue
+		}
+		if f.Whole() {
+			return nil, fmt.Errorf("p2g: fuse: %q whole-field fetch of %q cannot be satisfied inside one instance of %q", downName, f.Field, upName)
+		}
+		matched := false
+		for _, s := range stores {
+			if s.Whole() || s.Age != f.Age || len(s.Index) != len(f.Index) {
+				continue
+			}
+			same := true
+			for i := range s.Index {
+				if s.Index[i] != f.Index[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("p2g: fuse: %q fetch %s does not align element-wise with a store of %q", downName, f.String(), upName)
+		}
+		internal = append(internal, f)
+	}
+	if len(internal) == 0 {
+		return nil, fmt.Errorf("p2g: fuse: %q does not consume any field produced by %q", downName, upName)
+	}
+
+	const upPrefix, downPrefix = "u__", "d__"
+	fused := &KernelDecl{
+		Name:   upName + "+" + downName,
+		AgeVar: up.AgeVar,
+	}
+	fused.IndexVars = append(fused.IndexVars, up.IndexVars...)
+	for _, iv := range down.IndexVars {
+		dup := false
+		for _, have := range fused.IndexVars {
+			if have == iv {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			fused.IndexVars = append(fused.IndexVars, iv)
+		}
+	}
+	for _, l := range up.Locals {
+		fused.Locals = append(fused.Locals, LocalDecl{Name: upPrefix + l.Name, Kind: l.Kind, Rank: l.Rank})
+	}
+	for _, l := range down.Locals {
+		fused.Locals = append(fused.Locals, LocalDecl{Name: downPrefix + l.Name, Kind: l.Kind, Rank: l.Rank})
+	}
+	for _, f := range up.Fetches {
+		nf := f
+		nf.Local = upPrefix + f.Local
+		fused.Fetches = append(fused.Fetches, nf)
+	}
+	for _, f := range external {
+		nf := f
+		nf.Local = downPrefix + f.Local
+		fused.Fetches = append(fused.Fetches, nf)
+	}
+	for _, s := range up.Stores {
+		ns := s
+		ns.Local = upPrefix + s.Local
+		fused.Stores = append(fused.Stores, ns)
+	}
+	for _, s := range down.Stores {
+		ns := s
+		ns.Local = downPrefix + s.Local
+		fused.Stores = append(fused.Stores, ns)
+	}
+
+	upDecl, downDecl := up, down
+	internalFetches := append([]FetchStmt(nil), internal...)
+	externalFetches := append([]FetchStmt(nil), external...)
+	fused.Body = func(c *Ctx) error {
+		subIndex := func(vars []string) map[string]int {
+			m := make(map[string]int, len(vars))
+			for _, v := range vars {
+				m[v] = c.Index(v)
+			}
+			return m
+		}
+		upCtx := NewCtx(upDecl, c.Age(), subIndex(upDecl.IndexVars), c.Timers(), c.Out())
+		for _, f := range upDecl.Fetches {
+			upCtx.BindFetched(f.Local, c.Get(upPrefix+f.Local))
+		}
+		if upDecl.Body != nil {
+			if err := upDecl.Body(upCtx); err != nil {
+				return fmt.Errorf("fused %s: %w", upDecl.Name, err)
+			}
+		}
+		if upCtx.Stopped() {
+			c.Stop()
+		}
+		for _, s := range upDecl.Stores {
+			if upCtx.Bound(s.Local) {
+				c.Set(upPrefix+s.Local, upCtx.Get(s.Local))
+			}
+		}
+
+		// Feed down's internal fetches from up's store sources. If any
+		// source is unbound, the unfused down instance would never have
+		// become runnable, so skip the down body entirely.
+		downCtx := NewCtx(downDecl, c.Age(), subIndex(downDecl.IndexVars), c.Timers(), c.Out())
+		for _, f := range internalFetches {
+			src := findStoreSource(upDecl, f)
+			if !upCtx.Bound(src) {
+				return nil
+			}
+			downCtx.BindFetched(f.Local, upCtx.Get(src))
+		}
+		for _, f := range externalFetches {
+			downCtx.BindFetched(f.Local, c.Get(downPrefix+f.Local))
+		}
+		if downDecl.Body != nil {
+			if err := downDecl.Body(downCtx); err != nil {
+				return fmt.Errorf("fused %s: %w", downDecl.Name, err)
+			}
+		}
+		if downCtx.Stopped() {
+			c.Stop()
+		}
+		for _, s := range downDecl.Stores {
+			if downCtx.Bound(s.Local) {
+				c.Set(downPrefix+s.Local, downCtx.Get(s.Local))
+			}
+		}
+		return nil
+	}
+
+	np := &Program{Name: p.Name + "+fused", Timers: p.Timers, Fields: p.Fields}
+	for _, k := range p.Kernels {
+		switch k {
+		case up:
+			np.Kernels = append(np.Kernels, fused)
+		case down:
+			// dropped; replaced by the fused kernel
+		default:
+			np.Kernels = append(np.Kernels, k)
+		}
+	}
+	if err := np.Validate(); err != nil {
+		return nil, fmt.Errorf("p2g: fuse produced an invalid program: %w", err)
+	}
+	return np, nil
+}
+
+// findStoreSource returns the local that up stores into the field/position
+// the fetch f reads. Alignment was verified by Fuse.
+func findStoreSource(up *KernelDecl, f FetchStmt) string {
+	for i := range up.Stores {
+		s := &up.Stores[i]
+		if s.Field != f.Field || s.Whole() || s.Age != f.Age || len(s.Index) != len(f.Index) {
+			continue
+		}
+		same := true
+		for j := range s.Index {
+			if s.Index[j] != f.Index[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return s.Local
+		}
+	}
+	return ""
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/field"
+)
+
+func TestFuseMul2Plus5Structure(t *testing.T) {
+	p := mulSumProgram(t)
+	fp, err := Fuse(p, "mul2", "plus5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Kernels) != 3 {
+		t.Fatalf("fused program has %d kernels, want 3", len(fp.Kernels))
+	}
+	fk := fp.Kernel("mul2+plus5")
+	if fk == nil {
+		t.Fatal("fused kernel missing")
+	}
+	// The internal fetch of p_data is gone; m_data fetch remains.
+	if len(fk.Fetches) != 1 || fk.Fetches[0].Field != "m_data" {
+		t.Fatalf("fused fetches: %v", fk.Fetches)
+	}
+	// Both stores remain: p_data (read by print) and m_data(a+1).
+	if len(fk.Stores) != 2 {
+		t.Fatalf("fused stores: %v", fk.Stores)
+	}
+	fields := map[string]bool{}
+	for _, s := range fk.Stores {
+		fields[s.Field] = true
+	}
+	if !fields["p_data"] || !fields["m_data"] {
+		t.Error("fused kernel should store both p_data and m_data")
+	}
+	// Original program is untouched.
+	if p.Kernel("mul2") == nil || p.Kernel("plus5") == nil {
+		t.Error("Fuse must not mutate the source program")
+	}
+}
+
+func TestFuseBodySemantics(t *testing.T) {
+	p := mulSumProgram(t)
+	fp, err := Fuse(p, "mul2", "plus5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk := fp.Kernel("mul2+plus5")
+	c := NewCtx(fk, 0, map[string]int{"x": 0}, nil, nil)
+	// Simulate the runtime: install the fetched m_data element.
+	c.BindFetched("u__value", field.Int32Val(10))
+	if err := fk.Body(c); err != nil {
+		t.Fatal(err)
+	}
+	// mul2: 10*2 = 20 stored to p_data; plus5: 20+5 = 25 stored to m_data.
+	if !c.Bound("u__value") || c.Int32("u__value") != 20 {
+		t.Errorf("up store local = %v", c.Get("u__value"))
+	}
+	if !c.Bound("d__value") || c.Int32("d__value") != 25 {
+		t.Errorf("down store local = %v", c.Get("d__value"))
+	}
+}
+
+func TestFuseErrors(t *testing.T) {
+	p := mulSumProgram(t)
+	cases := []struct {
+		up, down string
+		want     string
+	}{
+		{"nope", "plus5", "unknown kernel"},
+		{"mul2", "mul2", "with itself"},
+		{"mul2", "print", "whole-field fetch"},
+		{"plus5", "init", "disagree on having an age"},
+		{"init", "print", "disagree on having an age"},
+		{"print", "mul2", "does not consume"},
+	}
+	for _, c := range cases {
+		if _, err := Fuse(p, c.up, c.down); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Fuse(%s,%s) error = %v, want containing %q", c.up, c.down, err, c.want)
+		}
+	}
+}
+
+func TestFuseMisalignedIndexRejected(t *testing.T) {
+	b := NewBuilder("t")
+	b.Field("f", field.Int32, 1, true)
+	b.Field("g", field.Int32, 1, true)
+	b.Kernel("up").Age("a").Index("x").
+		Local("v", field.Int32, 0).
+		Fetch("v", "f", AgeVar(0), Idx("x")).
+		Store("g", AgeVar(0), []IndexSpec{Lit(0)}, "v").
+		Body(nil)
+	b.Kernel("down").Age("a").Index("y").
+		Local("w", field.Int32, 0).
+		Fetch("w", "g", AgeVar(0), Idx("y")).
+		Store("f", AgeVar(1), []IndexSpec{Idx("y")}, "w").
+		Body(nil)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fuse(p, "up", "down"); err == nil || !strings.Contains(err.Error(), "align") {
+		t.Fatalf("misaligned fuse error = %v", err)
+	}
+}
+
+func TestFuseSkipsDownWhenUpSuppresses(t *testing.T) {
+	// If up leaves its store local unbound, down must not run (the unfused
+	// down instance would never have been dispatched).
+	b := NewBuilder("t")
+	b.Field("f", field.Int32, 1, true)
+	b.Field("g", field.Int32, 1, true)
+	b.Field("h", field.Int32, 1, true)
+	downRan := false
+	b.Kernel("up").Age("a").Index("x").
+		Local("v", field.Int32, 0).
+		Local("o", field.Int32, 0).
+		Fetch("v", "f", AgeVar(0), Idx("x")).
+		Store("g", AgeVar(0), []IndexSpec{Idx("x")}, "o").
+		Body(func(c *Ctx) error {
+			// Never binds o.
+			return nil
+		})
+	b.Kernel("down").Age("a").Index("x").
+		Local("w", field.Int32, 0).
+		Fetch("w", "g", AgeVar(0), Idx("x")).
+		Store("h", AgeVar(0), []IndexSpec{Idx("x")}, "w").
+		Body(func(c *Ctx) error {
+			downRan = true
+			return nil
+		})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Fuse(p, "up", "down")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk := fp.Kernel("up+down")
+	c := NewCtx(fk, 0, map[string]int{"x": 0}, nil, nil)
+	c.BindFetched("u__v", field.Int32Val(1))
+	if err := fk.Body(c); err != nil {
+		t.Fatal(err)
+	}
+	if downRan {
+		t.Error("down body ran despite suppressed upstream store")
+	}
+	if c.Bound("d__w") {
+		t.Error("down store local must stay unbound")
+	}
+}

@@ -1,0 +1,120 @@
+// Package deadline implements P2G's global timers and deadline expressions.
+//
+// The paper (§V-B) lets a program declare a global timer (`timer t1;`), update
+// it from kernel code (`t1 = now`) and branch on deadline conditions such as
+// `t1 + 100ms`, taking an alternate code path — typically storing to a
+// different field — when a timeout occurs. TimerSet is the runtime-side
+// realization: a named set of monotonic reference points shared by all kernel
+// instances of a running program.
+package deadline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for tests. The zero Clock uses the real monotonic
+// clock.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually-advanced clock for deterministic deadline tests.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock returns a FakeClock starting at an arbitrary fixed instant.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+// Now returns the fake current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the fake clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// TimerSet holds a program's named global timers. All methods are safe for
+// concurrent use by kernel instances running on multiple workers.
+type TimerSet struct {
+	clock Clock
+	mu    sync.Mutex
+	marks map[string]time.Time
+}
+
+// NewTimerSet creates a TimerSet over the given clock; a nil clock selects
+// the real monotonic clock. Each name in names is initialized to the current
+// instant, matching the paper's semantics that a declared timer starts at
+// program launch.
+func NewTimerSet(clock Clock, names ...string) *TimerSet {
+	if clock == nil {
+		clock = realClock{}
+	}
+	ts := &TimerSet{clock: clock, marks: make(map[string]time.Time, len(names))}
+	now := clock.Now()
+	for _, n := range names {
+		ts.marks[n] = now
+	}
+	return ts
+}
+
+// Now returns the current instant on the set's clock.
+func (ts *TimerSet) Now() time.Time { return ts.clock.Now() }
+
+// Reset records the current instant as timer name's reference point
+// (the kernel-language statement `t1 = now`). Resetting an undeclared timer
+// declares it on the fly.
+func (ts *TimerSet) Reset(name string) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.marks[name] = ts.clock.Now()
+}
+
+// Elapsed returns the time since the timer's reference point. It returns an
+// error for undeclared timers so kernel code fails loudly on typos.
+func (ts *TimerSet) Elapsed(name string) (time.Duration, error) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	m, ok := ts.marks[name]
+	if !ok {
+		return 0, fmt.Errorf("deadline: timer %q not declared", name)
+	}
+	return ts.clock.Now().Sub(m), nil
+}
+
+// Expired reports whether more than d has passed since the timer's reference
+// point — the kernel-language condition `now > t1 + d`. Undeclared timers
+// report an error.
+func (ts *TimerSet) Expired(name string, d time.Duration) (bool, error) {
+	e, err := ts.Elapsed(name)
+	if err != nil {
+		return false, err
+	}
+	return e > d, nil
+}
+
+// Names returns the declared timer names, unordered.
+func (ts *TimerSet) Names() []string {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]string, 0, len(ts.marks))
+	for n := range ts.marks {
+		out = append(out, n)
+	}
+	return out
+}

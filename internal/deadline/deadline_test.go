@@ -1,0 +1,100 @@
+package deadline
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimerSetBasics(t *testing.T) {
+	clk := NewFakeClock()
+	ts := NewTimerSet(clk, "t1", "t2")
+
+	e, err := ts.Elapsed("t1")
+	if err != nil || e != 0 {
+		t.Fatalf("fresh timer elapsed = %v, %v", e, err)
+	}
+	clk.Advance(50 * time.Millisecond)
+	e, err = ts.Elapsed("t1")
+	if err != nil || e != 50*time.Millisecond {
+		t.Fatalf("elapsed after advance = %v, %v", e, err)
+	}
+
+	exp, err := ts.Expired("t1", 100*time.Millisecond)
+	if err != nil || exp {
+		t.Fatalf("should not be expired yet: %v, %v", exp, err)
+	}
+	clk.Advance(51 * time.Millisecond)
+	exp, err = ts.Expired("t1", 100*time.Millisecond)
+	if err != nil || !exp {
+		t.Fatalf("should be expired: %v, %v", exp, err)
+	}
+}
+
+func TestTimerReset(t *testing.T) {
+	clk := NewFakeClock()
+	ts := NewTimerSet(clk, "t1")
+	clk.Advance(time.Second)
+	ts.Reset("t1")
+	e, err := ts.Elapsed("t1")
+	if err != nil || e != 0 {
+		t.Fatalf("elapsed after reset = %v, %v", e, err)
+	}
+}
+
+func TestUndeclaredTimer(t *testing.T) {
+	ts := NewTimerSet(NewFakeClock())
+	if _, err := ts.Elapsed("missing"); err == nil {
+		t.Error("Elapsed of undeclared timer should error")
+	}
+	if _, err := ts.Expired("missing", time.Second); err == nil {
+		t.Error("Expired of undeclared timer should error")
+	}
+	// Reset declares on the fly.
+	ts.Reset("fresh")
+	if _, err := ts.Elapsed("fresh"); err != nil {
+		t.Errorf("timer declared by Reset: %v", err)
+	}
+}
+
+func TestTimerNames(t *testing.T) {
+	ts := NewTimerSet(NewFakeClock(), "b", "a")
+	names := ts.Names()
+	sort.Strings(names)
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestRealClockDefault(t *testing.T) {
+	ts := NewTimerSet(nil, "t")
+	if ts.Now().IsZero() {
+		t.Error("real clock should return a non-zero time")
+	}
+	e, err := ts.Elapsed("t")
+	if err != nil || e < 0 {
+		t.Errorf("elapsed on real clock: %v, %v", e, err)
+	}
+}
+
+func TestTimerSetConcurrent(t *testing.T) {
+	clk := NewFakeClock()
+	ts := NewTimerSet(clk, "t")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				ts.Reset("t")
+				if _, err := ts.Elapsed("t"); err != nil {
+					t.Error(err)
+					return
+				}
+				clk.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+}

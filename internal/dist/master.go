@@ -1,0 +1,297 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+)
+
+// MasterConfig configures a master node run.
+type MasterConfig struct {
+	// Prog is the program to distribute. Every participating node must
+	// construct the same program (kernel bodies are code, not data).
+	Prog *core.Program
+	// Method selects the HLS partitioning algorithm.
+	Method sched.Method
+	// Spec is an optional program identifier forwarded to workers that
+	// build their program from a registry (the cmd tools).
+	Spec string
+	// Weights, when set, applies instrumentation from a previous run to
+	// the final graph before partitioning — the repartitioning feedback
+	// loop of §IV ("using instrumentation data collected from the nodes
+	// executing the workload the final graph can be weighted ... and
+	// repartitioned").
+	Weights *runtime.Report
+	// PollInterval is the quiescence-detection ping period; zero selects
+	// 2ms.
+	PollInterval time.Duration
+}
+
+// MasterResult is the outcome of a distributed run.
+type MasterResult struct {
+	// Assignment maps kernel names to worker indices.
+	Assignment map[string]int
+	// Cost is the HLS cost of the chosen assignment.
+	Cost sched.Cost
+	// Reports holds each worker's instrumentation report by node ID.
+	Reports map[string]*runtime.Report
+	// Shadow is the master's field replica: it observed every store, so
+	// Snapshot on it returns the complete program state.
+	Shadow *runtime.Node
+}
+
+// RunMaster drives a distributed execution over already-established worker
+// connections: registration, partitioning, assignment, event brokering,
+// global quiescence detection, shutdown and report collection.
+func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("dist: master needs at least one worker")
+	}
+	if err := cfg.Prog.Validate(); err != nil {
+		return nil, err
+	}
+	poll := cfg.PollInterval
+	if poll <= 0 {
+		poll = 2 * time.Millisecond
+	}
+
+	// Registration: collect the global topology.
+	topo := sched.Topology{Bandwidth: 1}
+	ids := make([]string, len(conns))
+	for i, c := range conns {
+		m, err := c.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("dist: waiting for registration: %w", err)
+		}
+		if m.Kind != MRegister {
+			return nil, fmt.Errorf("dist: expected registration, got kind %d", m.Kind)
+		}
+		ids[i] = m.NodeID
+		topo = topo.Add(m.NodeID, m.Cores, m.Speed)
+	}
+
+	// Partition the final implicit static dependency graph, weighted with
+	// prior instrumentation when available.
+	fin := graph.BuildFinal(cfg.Prog)
+	if err := fin.CheckSchedulable(); err != nil {
+		return nil, err
+	}
+	if cfg.Weights != nil {
+		sched.ApplyInstrumentation(fin, cfg.Weights)
+	}
+	assign, cost, err := sched.Partition(fin, topo, cfg.Method)
+	if err != nil {
+		return nil, err
+	}
+	kernelNode := make(map[string]int, len(fin.Nodes))
+	kernelsOf := make([][]string, len(conns))
+	for i, kn := range fin.Nodes {
+		kernelNode[kn.Name] = assign[i]
+		kernelsOf[assign[i]] = append(kernelsOf[assign[i]], kn.Name)
+	}
+
+	// Subscriber maps: which workers consume each field, and which workers
+	// need each kernel's completion events (they consume a field it
+	// stores).
+	fieldSubs := make(map[string][]int)
+	kernelSubs := make(map[string][]int)
+	consumes := make([]map[string]bool, len(conns))
+	for i := range conns {
+		consumes[i] = map[string]bool{}
+		for _, kn := range kernelsOf[i] {
+			k := cfg.Prog.Kernel(kn)
+			for _, f := range k.Fetches {
+				consumes[i][f.Field] = true
+			}
+		}
+	}
+	for _, f := range cfg.Prog.Fields {
+		for i := range conns {
+			if consumes[i][f.Name] {
+				fieldSubs[f.Name] = append(fieldSubs[f.Name], i)
+			}
+		}
+	}
+	for _, k := range cfg.Prog.Kernels {
+		seen := map[int]bool{}
+		for _, s := range k.Stores {
+			for _, i := range fieldSubs[s.Field] {
+				if !seen[i] {
+					seen[i] = true
+					kernelSubs[k.Name] = append(kernelSubs[k.Name], i)
+				}
+			}
+		}
+	}
+
+	// The master's shadow node replicates all fields (every kernel is
+	// remote from its perspective), giving complete final state.
+	allRemote := make(map[string]bool, len(cfg.Prog.Kernels))
+	for _, k := range cfg.Prog.Kernels {
+		allRemote[k.Name] = true
+	}
+	shadow, err := runtime.NewNode(cfg.Prog, runtime.Options{
+		Workers:       1,
+		RemoteKernels: allRemote,
+		NoAutoQuiesce: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	shadowDone := make(chan error, 1)
+	go func() {
+		_, err := shadow.Run()
+		shadowDone <- err
+	}()
+
+	// Assign partitions and start.
+	for i, c := range conns {
+		if err := c.Send(&Msg{Kind: MAssign, Kernels: kernelsOf[i], Spec: cfg.Spec}); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range conns {
+		if err := c.Send(&Msg{Kind: MStart}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Broker loop: fan worker events to subscribers and the shadow.
+	type inbound struct {
+		from int
+		msg  *Msg
+		err  error
+	}
+	inboxes := make(chan inbound, 1024)
+	for i, c := range conns {
+		go func(i int, c Conn) {
+			for {
+				m, err := c.Recv()
+				inboxes <- inbound{from: i, msg: m, err: err}
+				if err != nil {
+					return
+				}
+			}
+		}(i, c)
+	}
+
+	forwarded := make([]int64, len(conns))
+	status := make([]Msg, len(conns))
+	statusSeen := make([]bool, len(conns))
+	reports := map[string]*runtime.Report{}
+	stableRounds := 0
+	var lastTotal int64 = -1
+	stopSent := false
+
+	forward := func(from int, subs []int, m *Msg) error {
+		for _, i := range subs {
+			if i == from {
+				continue
+			}
+			if err := conns[i].Send(m); err != nil {
+				return err
+			}
+			forwarded[i]++
+		}
+		return nil
+	}
+
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+
+	fail := func(err error) (*MasterResult, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		shadow.Stop()
+		<-shadowDone
+		return nil, err
+	}
+
+	for len(reports) < len(conns) {
+		select {
+		case in := <-inboxes:
+			if in.err != nil {
+				if _, have := reports[ids[in.from]]; have {
+					continue // connection closed after its report: fine
+				}
+				return fail(fmt.Errorf("dist: worker %s: %w", ids[in.from], in.err))
+			}
+			m := in.msg
+			switch m.Kind {
+			case MStore:
+				if err := shadow.InjectStore(m.Store); err != nil {
+					return fail(fmt.Errorf("dist: shadow store: %w", err))
+				}
+				if err := forward(in.from, fieldSubs[m.Store.Field], m); err != nil {
+					return fail(err)
+				}
+			case MDone:
+				if err := shadow.InjectRemoteDone(m.Kernel, m.Age); err != nil {
+					return fail(fmt.Errorf("dist: shadow done: %w", err))
+				}
+				if err := forward(in.from, kernelSubs[m.Kernel], m); err != nil {
+					return fail(err)
+				}
+			case MStatus:
+				status[in.from] = *m
+				statusSeen[in.from] = true
+			case MReport:
+				reports[ids[in.from]] = m.Report
+			case MError:
+				return fail(fmt.Errorf("dist: worker %s failed: %s", ids[in.from], m.Err))
+			}
+		case <-ticker.C:
+			if stopSent {
+				continue
+			}
+			quiet := true
+			var total int64
+			for i := range conns {
+				if !statusSeen[i] || !status[i].Idle || status[i].Received != forwarded[i] {
+					quiet = false
+				}
+				total += status[i].Sent + status[i].Received
+			}
+			if quiet && shadow.Idle() && total == lastTotal {
+				stableRounds++
+			} else {
+				stableRounds = 0
+			}
+			lastTotal = total
+			if stableRounds >= 2 {
+				stopSent = true
+				for _, c := range conns {
+					if err := c.Send(&Msg{Kind: MStopReq}); err != nil {
+						return fail(err)
+					}
+				}
+				continue
+			}
+			for i := range conns {
+				statusSeen[i] = false
+				if err := conns[i].Send(&Msg{Kind: MPing}); err != nil {
+					return fail(err)
+				}
+			}
+		}
+	}
+
+	shadow.Stop()
+	if err := <-shadowDone; err != nil {
+		return nil, err
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return &MasterResult{
+		Assignment: kernelNode,
+		Cost:       cost,
+		Reports:    reports,
+		Shadow:     shadow,
+	}, nil
+}

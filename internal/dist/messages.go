@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"repro/internal/field"
+	"repro/internal/runtime"
+)
+
+// MsgKind enumerates protocol messages.
+type MsgKind uint8
+
+// Protocol message kinds, in rough lifecycle order.
+const (
+	MRegister    MsgKind = iota // worker → master: here I am, this is my capacity
+	MAssign                     // master → worker: your kernel partition
+	MStart                      // master → worker: begin execution
+	MStore                      // worker ↔ master: a store event (forwarded to subscribers)
+	MDone                       // worker ↔ master: a kernel-age completed
+	MPing                       // master → worker: report status
+	MStatus                     // worker → master: idle state and event counters
+	MStopReq                    // master → worker: quiesce reached, shut down
+	MReport                     // worker → master: final instrumentation report
+	MSnapshotReq                // master → worker: send a field generation
+	MSnapshot                   // worker → master: field generation contents
+	MError                      // either direction: fatal error
+)
+
+// Msg is the single wire envelope; Kind selects which fields are meaningful.
+// A flat struct keeps gob encoding simple and self-describing.
+type Msg struct {
+	Kind MsgKind
+
+	// MRegister
+	NodeID string
+	Cores  int
+	Speed  float64
+
+	// MAssign
+	Kernels []string // kernel names the worker executes
+	Spec    string   // program spec for workers that build the program from a registry
+
+	// MStore
+	Store runtime.StoreNotice
+
+	// MDone
+	Kernel string
+	Age    int
+
+	// MStatus
+	Idle     bool
+	Sent     int64
+	Received int64
+
+	// MReport
+	Report *runtime.Report
+
+	// MSnapshotReq / MSnapshot
+	Field string
+	Arr   *field.Array
+
+	// MError
+	Err string
+}

@@ -1,0 +1,159 @@
+// Package dist implements P2G's distributed layer (paper figure 1): a master
+// node that collects the global topology, partitions the workload with the
+// high-level scheduler and assigns partitions to execution nodes; execution
+// nodes that run their partition on the local runtime; and the event-based
+// publish-subscribe distribution of store and completion events between
+// nodes.
+//
+// Messages flow over a Transport. Two implementations are provided: an
+// in-process transport (for tests and single-machine experiments) and TCP
+// with gob encoding (for real deployments via cmd/p2g-master and
+// cmd/p2g-worker). The master acts as the pub-sub broker: each worker
+// publishes its store/done events once, and the master forwards them to the
+// nodes whose kernels subscribe to the stored fields, preserving per-origin
+// order.
+package dist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Conn is a bidirectional, ordered message channel between two nodes.
+type Conn interface {
+	Send(*Msg) error
+	Recv() (*Msg, error)
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// ---- in-process transport ----
+
+type inprocConn struct {
+	out  chan<- *Msg
+	in   <-chan *Msg
+	once sync.Once
+	done chan struct{}
+	peer *inprocConn
+}
+
+// InprocPipe returns a connected pair of in-process connections.
+func InprocPipe() (Conn, Conn) {
+	ab := make(chan *Msg, 1024)
+	ba := make(chan *Msg, 1024)
+	a := &inprocConn{out: ab, in: ba, done: make(chan struct{})}
+	b := &inprocConn{out: ba, in: ab, done: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *inprocConn) Send(m *Msg) error {
+	// Check closure first: the buffered data channel may still have room,
+	// and select would otherwise pick it nondeterministically.
+	select {
+	case <-c.done:
+		return fmt.Errorf("dist: send on closed connection")
+	case <-c.peer.done:
+		return fmt.Errorf("dist: peer closed")
+	default:
+	}
+	select {
+	case <-c.done:
+		return fmt.Errorf("dist: send on closed connection")
+	case <-c.peer.done:
+		return fmt.Errorf("dist: peer closed")
+	case c.out <- m:
+		return nil
+	}
+}
+
+func (c *inprocConn) Recv() (*Msg, error) {
+	select {
+	case m := <-c.in:
+		return m, nil
+	case <-c.done:
+		return nil, fmt.Errorf("dist: connection closed")
+	case <-c.peer.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return nil, fmt.Errorf("dist: peer closed")
+		}
+	}
+}
+
+func (c *inprocConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+// ---- TCP transport ----
+
+type tcpConn struct {
+	nc  net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	mu  sync.Mutex
+}
+
+// DialTCP connects to a master's TCP listener.
+func DialTCP(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing %s: %w", addr, err)
+	}
+	return newTCPConn(nc), nil
+}
+
+func newTCPConn(nc net.Conn) Conn {
+	return &tcpConn{nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}
+}
+
+func (c *tcpConn) Send(m *Msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(m)
+}
+
+func (c *tcpConn) Recv() (*Msg, error) {
+	m := &Msg{}
+	if err := c.dec.Decode(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (c *tcpConn) Close() error { return c.nc.Close() }
+
+type tcpListener struct{ l net.Listener }
+
+// ListenTCP opens a TCP listener for a master node; addr may use port 0 for
+// an ephemeral port (see Addr).
+func ListenTCP(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listening on %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+func (t *tcpListener) Accept() (Conn, error) {
+	nc, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(nc), nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }

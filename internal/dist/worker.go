@@ -1,0 +1,192 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+)
+
+// WorkerConfig configures one execution node.
+type WorkerConfig struct {
+	// NodeID identifies the node in the topology and reports.
+	NodeID string
+	// Cores is the worker-thread count reported to the master and used
+	// locally.
+	Cores int
+	// Speed is the relative speed factor reported to the master (0 means
+	// 1.0).
+	Speed float64
+	// Prog is the program; it must be structurally identical to the
+	// master's. When nil, Factory builds it from the assignment's Spec.
+	Prog *core.Program
+	// Factory builds the program from the spec carried in the assignment
+	// message (used by cmd/p2g-worker, where programs come from a
+	// registry).
+	Factory func(spec string) (*core.Program, error)
+	// BoundsFactory derives per-kernel age bounds from the spec; used with
+	// Factory when KernelMaxAge is nil.
+	BoundsFactory func(spec string) map[string]int
+	// Output receives kernel Printf output.
+	Output io.Writer
+	// MaxAge and Granularity mirror the runtime options.
+	MaxAge       int
+	KernelMaxAge map[string]int
+	Granularity  map[string]int
+}
+
+// RunWorker executes one node of a distributed run over an established
+// connection to the master. It returns the local instrumentation report.
+func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	speed := cfg.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	if err := conn.Send(&Msg{Kind: MRegister, NodeID: cfg.NodeID, Cores: cfg.Cores, Speed: speed}); err != nil {
+		return nil, err
+	}
+
+	assign, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("dist: waiting for assignment: %w", err)
+	}
+	if assign.Kind != MAssign {
+		return nil, fmt.Errorf("dist: expected assignment, got kind %d", assign.Kind)
+	}
+	prog := cfg.Prog
+	if prog == nil {
+		if cfg.Factory == nil {
+			return nil, fmt.Errorf("dist: worker has neither a program nor a factory")
+		}
+		prog, err = cfg.Factory(assign.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("dist: building program %q: %w", assign.Spec, err)
+		}
+	}
+	if cfg.KernelMaxAge == nil && cfg.BoundsFactory != nil {
+		cfg.KernelMaxAge = cfg.BoundsFactory(assign.Spec)
+	}
+
+	local := map[string]bool{}
+	for _, k := range assign.Kernels {
+		local[k] = true
+	}
+	remote := map[string]bool{}
+	for _, k := range prog.Kernels {
+		if !local[k.Name] {
+			remote[k.Name] = true
+		}
+	}
+
+	var sent, received atomic.Int64
+	sendErr := make(chan error, 1)
+	send := func(m *Msg) {
+		if err := conn.Send(m); err != nil {
+			select {
+			case sendErr <- err:
+			default:
+			}
+		}
+	}
+
+	node, err := runtime.NewNode(prog, runtime.Options{
+		Workers:       cfg.Cores,
+		MaxAge:        cfg.MaxAge,
+		KernelMaxAge:  cfg.KernelMaxAge,
+		Granularity:   cfg.Granularity,
+		Output:        cfg.Output,
+		RemoteKernels: remote,
+		NoAutoQuiesce: true,
+		OnStore: func(sn runtime.StoreNotice) {
+			sent.Add(1)
+			send(&Msg{Kind: MStore, Store: sn})
+		},
+		OnKernelDone: func(kernel string, age int) {
+			sent.Add(1)
+			send(&Msg{Kind: MDone, Kernel: kernel, Age: age})
+		},
+	})
+	if err != nil {
+		send(&Msg{Kind: MError, Err: err.Error()})
+		return nil, err
+	}
+
+	start, err := conn.Recv()
+	if err != nil || start.Kind != MStart {
+		return nil, fmt.Errorf("dist: waiting for start: %v", err)
+	}
+
+	runDone := make(chan struct{})
+	var rep *runtime.Report
+	var runErr error
+	go func() {
+		rep, runErr = node.Run()
+		close(runDone)
+		// A failed run can end before the master requests a stop; report
+		// it proactively so the cluster shuts down instead of waiting for
+		// a quiescence that can never be detected.
+		if runErr != nil {
+			send(&Msg{Kind: MError, Err: runErr.Error()})
+		}
+	}()
+
+	for {
+		select {
+		case err := <-sendErr:
+			node.Stop()
+			<-runDone
+			return rep, fmt.Errorf("dist: sending to master: %w", err)
+		default:
+		}
+		m, err := conn.Recv()
+		if err != nil {
+			node.Stop()
+			<-runDone
+			return rep, fmt.Errorf("dist: master connection: %w", err)
+		}
+		switch m.Kind {
+		case MStore:
+			received.Add(1)
+			if err := node.InjectStore(m.Store); err != nil {
+				send(&Msg{Kind: MError, Err: err.Error()})
+				node.Stop()
+				<-runDone
+				return rep, err
+			}
+		case MDone:
+			received.Add(1)
+			if err := node.InjectRemoteDone(m.Kernel, m.Age); err != nil {
+				send(&Msg{Kind: MError, Err: err.Error()})
+				node.Stop()
+				<-runDone
+				return rep, err
+			}
+		case MPing:
+			send(&Msg{Kind: MStatus, Idle: node.Idle(), Sent: sent.Load(), Received: received.Load()})
+		case MSnapshotReq:
+			arr, err := node.Snapshot(m.Field, m.Age)
+			if err != nil {
+				send(&Msg{Kind: MError, Err: err.Error()})
+				continue
+			}
+			send(&Msg{Kind: MSnapshot, Field: m.Field, Age: m.Age, Arr: arr})
+		case MStopReq:
+			node.Stop()
+			<-runDone
+			if runErr != nil {
+				send(&Msg{Kind: MError, Err: runErr.Error()})
+				return rep, runErr
+			}
+			send(&Msg{Kind: MReport, Report: rep})
+			conn.Close()
+			return rep, nil
+		default:
+			return rep, fmt.Errorf("dist: unexpected message kind %d", m.Kind)
+		}
+	}
+}

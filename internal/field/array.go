@@ -1,0 +1,280 @@
+package field
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Array is a local, mutable, rank-N array of Values. Kernel bodies use Arrays
+// for `local` fields and for whole-field fetches; unlike global Fields,
+// Arrays have no write-once restriction and no ages. Arrays grow implicitly:
+// Put past the current extent resizes the array, mirroring the implicit
+// resizing of global fields.
+type Array struct {
+	kind    Kind
+	extents []int
+	data    []Value
+}
+
+// NewArray creates an array with the given element kind and extents. A rank-1
+// array with extent 0 is the canonical "empty local field" that grows via Put.
+func NewArray(kind Kind, extents ...int) *Array {
+	if len(extents) == 0 {
+		extents = []int{0}
+	}
+	n := 1
+	for _, e := range extents {
+		if e < 0 {
+			panic(fmt.Sprintf("field: negative extent %d", e))
+		}
+		n *= e
+	}
+	return &Array{kind: kind, extents: append([]int(nil), extents...), data: make([]Value, n)}
+}
+
+// ArrayFromInt32 builds a rank-1 int32 array from a Go slice.
+func ArrayFromInt32(vs []int32) *Array {
+	a := NewArray(Int32, len(vs))
+	for i, v := range vs {
+		a.data[i] = Int32Val(v)
+	}
+	return a
+}
+
+// ArrayFromFloat64 builds a rank-1 float64 array from a Go slice.
+func ArrayFromFloat64(vs []float64) *Array {
+	a := NewArray(Float64, len(vs))
+	for i, v := range vs {
+		a.data[i] = Float64Val(v)
+	}
+	return a
+}
+
+// Int32Slice returns the rank-1 array's contents as a Go slice.
+func (a *Array) Int32Slice() []int32 {
+	out := make([]int32, len(a.data))
+	for i, v := range a.data {
+		out[i] = v.Int32()
+	}
+	return out
+}
+
+// Float64Slice returns the rank-1 array's contents as a Go slice.
+func (a *Array) Float64Slice() []float64 {
+	out := make([]float64, len(a.data))
+	for i, v := range a.data {
+		out[i] = v.Float64()
+	}
+	return out
+}
+
+// Kind returns the element kind.
+func (a *Array) Kind() Kind { return a.kind }
+
+// Rank returns the number of dimensions.
+func (a *Array) Rank() int { return len(a.extents) }
+
+// Extent returns the size of dimension d. It returns 0 for out-of-range
+// dimensions, matching the kernel language's permissive extent() builtin.
+func (a *Array) Extent(d int) int {
+	if d < 0 || d >= len(a.extents) {
+		return 0
+	}
+	return a.extents[d]
+}
+
+// Extents returns a copy of all dimension sizes.
+func (a *Array) Extents() []int { return append([]int(nil), a.extents...) }
+
+// Len returns the total number of elements.
+func (a *Array) Len() int { return len(a.data) }
+
+// flatten converts a multi-dimensional index to a flat offset, or -1 if any
+// coordinate is out of bounds.
+func (a *Array) flatten(idx []int) int {
+	if len(idx) != len(a.extents) {
+		return -1
+	}
+	off := 0
+	for d, i := range idx {
+		if i < 0 || i >= a.extents[d] {
+			return -1
+		}
+		off = off*a.extents[d] + i
+	}
+	return off
+}
+
+// At returns the element at the given coordinates. It panics on rank mismatch
+// or out-of-bounds access, as the kernel language's get() does.
+func (a *Array) At(idx ...int) Value {
+	off := a.flatten(idx)
+	if off < 0 {
+		panic(fmt.Sprintf("field: get %v out of bounds for extents %v", idx, a.extents))
+	}
+	return a.data[off]
+}
+
+// AtFlat returns the element at flat offset i in row-major order.
+func (a *Array) AtFlat(i int) Value { return a.data[i] }
+
+// Set stores v at the given coordinates. It panics if idx is out of bounds;
+// use Put for the growing store.
+func (a *Array) Set(v Value, idx ...int) {
+	off := a.flatten(idx)
+	if off < 0 {
+		panic(fmt.Sprintf("field: set %v out of bounds for extents %v", idx, a.extents))
+	}
+	a.data[off] = v.Convert(a.kind)
+}
+
+// SetFlat stores v at flat offset i in row-major order.
+func (a *Array) SetFlat(v Value, i int) { a.data[i] = v.Convert(a.kind) }
+
+// Put stores v at the given coordinates, growing the array as needed so that
+// every coordinate is in range. This implements the kernel language's
+// put(values, v, i) builtin and the implicit-resize semantics of fields.
+func (a *Array) Put(v Value, idx ...int) {
+	if len(idx) != len(a.extents) {
+		panic(fmt.Sprintf("field: put rank mismatch: %d coordinates for rank-%d array", len(idx), len(a.extents)))
+	}
+	grew := false
+	newExt := append([]int(nil), a.extents...)
+	for d, i := range idx {
+		if i < 0 {
+			panic(fmt.Sprintf("field: put negative index %d", i))
+		}
+		if i >= newExt[d] {
+			newExt[d] = i + 1
+			grew = true
+		}
+	}
+	if grew {
+		a.Grow(newExt...)
+	}
+	a.Set(v, idx...)
+}
+
+// Grow resizes the array to the given extents, which must be at least the
+// current extents in every dimension. Existing elements keep their
+// coordinates; new elements are zero values.
+func (a *Array) Grow(extents ...int) {
+	if len(extents) != len(a.extents) {
+		panic(fmt.Sprintf("field: grow rank mismatch: %d extents for rank-%d array", len(extents), len(a.extents)))
+	}
+	same := true
+	for d, e := range extents {
+		if e < a.extents[d] {
+			panic(fmt.Sprintf("field: grow would shrink dimension %d from %d to %d", d, a.extents[d], e))
+		}
+		if e != a.extents[d] {
+			same = false
+		}
+	}
+	if same {
+		return
+	}
+	// Rank-1 fast path with amortized doubling: Put-driven growth (the
+	// kernel language's append idiom) costs O(n) total instead of O(n²).
+	if len(a.extents) == 1 {
+		n := extents[0]
+		if n <= cap(a.data) {
+			a.data = a.data[:n]
+		} else {
+			c := 2 * cap(a.data)
+			if c < n {
+				c = n
+			}
+			nd := make([]Value, n, c)
+			copy(nd, a.data)
+			a.data = nd
+		}
+		a.extents[0] = n
+		return
+	}
+	n := 1
+	for _, e := range extents {
+		n *= e
+	}
+	nd := make([]Value, n)
+	if len(a.data) > 0 {
+		idx := make([]int, len(a.extents))
+		for off := range a.data {
+			noff := 0
+			for d := range idx {
+				noff = noff*extents[d] + idx[d]
+			}
+			nd[noff] = a.data[off]
+			for d := len(idx) - 1; d >= 0; d-- {
+				idx[d]++
+				if idx[d] < a.extents[d] {
+					break
+				}
+				idx[d] = 0
+			}
+		}
+	}
+	a.extents = append([]int(nil), extents...)
+	a.data = nd
+}
+
+// Clone returns a deep copy of the array. Element payloads of kind Any are
+// shared (they are treated as immutable once stored).
+func (a *Array) Clone() *Array {
+	c := &Array{kind: a.kind, extents: append([]int(nil), a.extents...), data: make([]Value, len(a.data))}
+	for i, v := range a.data {
+		if v.IsArray() {
+			c.data[i] = ArrayVal(v.Array().Clone())
+		} else {
+			c.data[i] = v
+		}
+	}
+	return c
+}
+
+// Equal reports element-wise equality of two arrays.
+func (a *Array) Equal(o *Array) bool {
+	if a == nil || o == nil {
+		return a == o
+	}
+	if a.kind != o.kind || len(a.extents) != len(o.extents) {
+		return false
+	}
+	for d := range a.extents {
+		if a.extents[d] != o.extents[d] {
+			return false
+		}
+	}
+	for i := range a.data {
+		if !a.data[i].Equal(o.data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats the array like {1, 2, 3} (rank-1) or nested braces.
+func (a *Array) String() string {
+	var b strings.Builder
+	a.format(&b, 0, 0)
+	return b.String()
+}
+
+func (a *Array) format(b *strings.Builder, dim, base int) {
+	b.WriteByte('{')
+	stride := 1
+	for d := dim + 1; d < len(a.extents); d++ {
+		stride *= a.extents[d]
+	}
+	for i := 0; i < a.extents[dim]; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if dim == len(a.extents)-1 {
+			b.WriteString(a.data[base+i].String())
+		} else {
+			a.format(b, dim+1, base+i*stride)
+		}
+	}
+	b.WriteByte('}')
+}

@@ -1,0 +1,434 @@
+package field
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ErrWriteTwice is wrapped by errors returned when write-once semantics are
+// violated (a second store to the same field position within one age).
+var ErrWriteTwice = fmt.Errorf("write-once violation")
+
+// Field is a global, aged, rank-N, write-once array — the central P2G data
+// abstraction. Each age holds an independent generation of the field's data;
+// a position may be stored once per age. Extents start at zero in every
+// dimension (unless declared) and grow implicitly as stores land past the
+// current extent. An age becomes "complete" when the runtime's dependency
+// analyzer determines that every producer kernel instance for that age has
+// finished; completeness gates whole-field fetches.
+type Field struct {
+	name string
+	kind Kind
+	rank int
+	aged bool
+
+	mu     sync.RWMutex
+	ages   map[int]*ageStore
+	minAge int // ages below this have been garbage collected
+}
+
+// ageStore holds one generation of field data.
+type ageStore struct {
+	extents  []int
+	data     []Value
+	written  []bool
+	writes   int
+	complete bool
+	dropped  bool
+}
+
+// New creates a field. Rank must be at least 1. Non-aged fields behave as a
+// single age-0 generation; storing to any other age is an error.
+func New(name string, kind Kind, rank int, aged bool) *Field {
+	if rank < 1 {
+		panic(fmt.Sprintf("field %s: rank must be >= 1, got %d", name, rank))
+	}
+	return &Field{name: name, kind: kind, rank: rank, aged: aged, ages: make(map[int]*ageStore)}
+}
+
+// Name returns the field's declared name.
+func (f *Field) Name() string { return f.name }
+
+// Kind returns the element kind.
+func (f *Field) Kind() Kind { return f.kind }
+
+// Rank returns the number of dimensions.
+func (f *Field) Rank() int { return f.rank }
+
+// Aged reports whether the field was declared with the `age` attribute.
+func (f *Field) Aged() bool { return f.aged }
+
+func (f *Field) age(a int, create bool) *ageStore {
+	if !f.aged && a != 0 {
+		panic(fmt.Sprintf("field %s: access to age %d of non-aged field", f.name, a))
+	}
+	s := f.ages[a]
+	if s == nil && create {
+		if a < f.minAge {
+			panic(fmt.Sprintf("field %s: store to garbage-collected age %d", f.name, a))
+		}
+		s = &ageStore{extents: make([]int, f.rank), data: nil, written: nil}
+		f.ages[a] = s
+	}
+	return s
+}
+
+// StoreResult describes the effect of a store for the dependency analyzer.
+type StoreResult struct {
+	// Grew is true if the store enlarged the field's extent at this age.
+	Grew bool
+	// Extents is the extent after the store (a copy).
+	Extents []int
+	// Count is the number of elements written by this store.
+	Count int
+}
+
+func (s *ageStore) grow(extents []int) {
+	same := true
+	for d, e := range extents {
+		if e < s.extents[d] {
+			extents[d] = s.extents[d]
+		} else if e > s.extents[d] {
+			same = false
+		}
+	}
+	if same {
+		return
+	}
+	// Rank-1 fast path: extend in place with amortized doubling, so
+	// element-by-element stores (the dominant pattern for per-macroblock
+	// kernels) cost O(n) total instead of O(n²) remapping.
+	if len(extents) == 1 {
+		n := extents[0]
+		if n <= cap(s.data) {
+			s.data = s.data[:n]
+			s.written = s.written[:n]
+		} else {
+			c := 2 * cap(s.data)
+			if c < n {
+				c = n
+			}
+			nd := make([]Value, n, c)
+			nw := make([]bool, n, c)
+			copy(nd, s.data)
+			copy(nw, s.written)
+			s.data, s.written = nd, nw
+		}
+		s.extents[0] = n
+		return
+	}
+	n := 1
+	for _, e := range extents {
+		n *= e
+	}
+	nd := make([]Value, n)
+	nw := make([]bool, n)
+	if len(s.data) > 0 {
+		idx := make([]int, len(s.extents))
+		for off := range s.data {
+			noff := 0
+			for d := range idx {
+				noff = noff*extents[d] + idx[d]
+			}
+			nd[noff] = s.data[off]
+			nw[noff] = s.written[off]
+			for d := len(idx) - 1; d >= 0; d-- {
+				idx[d]++
+				if idx[d] < s.extents[d] {
+					break
+				}
+				idx[d] = 0
+			}
+		}
+	}
+	s.extents = extents
+	s.data = nd
+	s.written = nw
+}
+
+func (s *ageStore) flatten(idx []int) int {
+	off := 0
+	for d, i := range idx {
+		if i < 0 || i >= s.extents[d] {
+			return -1
+		}
+		off = off*s.extents[d] + i
+	}
+	return off
+}
+
+// Store writes a single element at (age, idx...), growing the extent if the
+// index lies past it. It returns ErrWriteTwice (wrapped) if the position was
+// already written at this age.
+func (f *Field) Store(age int, v Value, idx ...int) (StoreResult, error) {
+	if len(idx) != f.rank {
+		return StoreResult{}, fmt.Errorf("field %s: store rank mismatch: %d coordinates for rank-%d field", f.name, len(idx), f.rank)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.age(age, true)
+	if s.complete {
+		return StoreResult{}, fmt.Errorf("field %s(%d): store after age marked complete", f.name, age)
+	}
+	grew := false
+	ext := append([]int(nil), s.extents...)
+	for d, i := range idx {
+		if i < 0 {
+			return StoreResult{}, fmt.Errorf("field %s: negative index %d", f.name, i)
+		}
+		if i >= ext[d] {
+			ext[d] = i + 1
+			grew = true
+		}
+	}
+	if grew {
+		s.grow(ext)
+	}
+	off := s.flatten(idx)
+	if s.written[off] {
+		return StoreResult{}, fmt.Errorf("field %s(%d)%v: %w", f.name, age, idx, ErrWriteTwice)
+	}
+	s.data[off] = v.Convert(f.kind)
+	s.written[off] = true
+	s.writes++
+	return StoreResult{Grew: grew, Extents: append([]int(nil), s.extents...), Count: 1}, nil
+}
+
+// StoreAll writes an entire generation from a local array: extents are set to
+// the array's extents (growing as needed) and every element is written. It
+// fails if any covered position was already written.
+func (f *Field) StoreAll(age int, a *Array) (StoreResult, error) {
+	if a.Rank() != f.rank {
+		return StoreResult{}, fmt.Errorf("field %s: whole-field store rank mismatch: rank-%d array into rank-%d field", f.name, a.Rank(), f.rank)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.age(age, true)
+	if s.complete {
+		return StoreResult{}, fmt.Errorf("field %s(%d): store after age marked complete", f.name, age)
+	}
+	grew := false
+	ext := append([]int(nil), s.extents...)
+	for d := 0; d < f.rank; d++ {
+		if a.Extent(d) > ext[d] {
+			ext[d] = a.Extent(d)
+			grew = true
+		}
+	}
+	if grew {
+		s.grow(ext)
+	}
+	// Walk the array in row-major order and map into the (possibly larger)
+	// field extents.
+	idx := make([]int, f.rank)
+	n := a.Len()
+	for flat := 0; flat < n; flat++ {
+		off := s.flatten(idx)
+		if s.written[off] {
+			return StoreResult{}, fmt.Errorf("field %s(%d)%v: %w", f.name, age, idx, ErrWriteTwice)
+		}
+		s.data[off] = a.AtFlat(flat).Convert(f.kind)
+		s.written[off] = true
+		s.writes++
+		for d := f.rank - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < a.Extent(d) {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return StoreResult{Grew: grew, Extents: append([]int(nil), s.extents...), Count: n}, nil
+}
+
+// At returns the element at (age, idx...). The second result is false if the
+// position has not been written (or is out of the current extent).
+func (f *Field) At(age int, idx ...int) (Value, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s := f.ages[age]
+	if s == nil {
+		return Value{}, false
+	}
+	off := s.flatten(idx)
+	if off < 0 || !s.written[off] {
+		return Value{}, false
+	}
+	return s.data[off], true
+}
+
+// Snapshot copies the entire generation at the given age into a local Array.
+// Unwritten positions are zero values. Snapshotting a non-existent age yields
+// an empty array with zero extents.
+func (f *Field) Snapshot(age int) *Array {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s := f.ages[age]
+	if s == nil {
+		return NewArray(f.kind, make([]int, f.rank)...)
+	}
+	a := NewArray(f.kind, s.extents...)
+	copy(a.data, s.data)
+	return a
+}
+
+// Extents returns the current extents at the given age (zeros if the age has
+// never been stored to).
+func (f *Field) Extents(age int) []int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s := f.ages[age]
+	if s == nil {
+		return make([]int, f.rank)
+	}
+	return append([]int(nil), s.extents...)
+}
+
+// Writes returns the number of elements written at the given age.
+func (f *Field) Writes(age int) int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s := f.ages[age]
+	if s == nil {
+		return 0
+	}
+	return s.writes
+}
+
+// MarkComplete records that all producers for the given age have finished.
+// Subsequent stores to that age fail. It is idempotent.
+func (f *Field) MarkComplete(age int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.age(age, true).complete = true
+}
+
+// Complete reports whether the age has been marked complete.
+func (f *Field) Complete(age int) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s := f.ages[age]
+	return s != nil && s.complete
+}
+
+// DropAge garbage collects a single generation, releasing its storage. It
+// reports whether the age was live.
+func (f *Field) DropAge(age int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.ages[age]; !ok {
+		return false
+	}
+	delete(f.ages, age)
+	return true
+}
+
+// DropAgesBelow garbage collects every generation with age < min, releasing
+// its storage. It returns the number of generations dropped. Dropped ages can
+// no longer be stored to or fetched from; the runtime only drops ages whose
+// consumers have all finished.
+func (f *Field) DropAgesBelow(min int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for a := range f.ages {
+		if a < min {
+			delete(f.ages, a)
+			n++
+		}
+	}
+	if min > f.minAge {
+		f.minAge = min
+	}
+	return n
+}
+
+// Ages returns the set of live (non-collected) ages, unordered.
+func (f *Field) Ages() []int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]int, 0, len(f.ages))
+	for a := range f.ages {
+		out = append(out, a)
+	}
+	return out
+}
+
+// MemoryElems returns the total number of element slots currently allocated
+// across all live ages; used by the garbage-collection tests and the
+// instrumentation report.
+func (f *Field) MemoryElems() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n := 0
+	for _, s := range f.ages {
+		n += len(s.data)
+	}
+	return n
+}
+
+// SlabDim selects one dimension of a Slab read: either a fixed coordinate or
+// (the zero value) the whole dimension.
+type SlabDim struct {
+	Fixed bool
+	Index int
+}
+
+// Slab copies a sub-slab of the generation at the given age: fixed
+// dimensions are dropped, free dimensions become the dimensions of the
+// resulting array (in field order). Out-of-range fixed coordinates yield an
+// empty array.
+func (f *Field) Slab(age int, sel []SlabDim) *Array {
+	if len(sel) != f.rank {
+		panic(fmt.Sprintf("field %s: slab rank mismatch: %d selectors for rank-%d field", f.name, len(sel), f.rank))
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var freeExt []int
+	s := f.ages[age]
+	for d, sd := range sel {
+		if sd.Fixed {
+			if s == nil || sd.Index < 0 || sd.Index >= s.extents[d] {
+				s = nil // out of range: deliver an empty slab
+			}
+			continue
+		}
+		if s == nil {
+			freeExt = append(freeExt, 0)
+		} else {
+			freeExt = append(freeExt, s.extents[d])
+		}
+	}
+	if len(freeExt) == 0 {
+		freeExt = []int{0}
+	}
+	out := NewArray(f.kind, freeExt...)
+	if s == nil || out.Len() == 0 {
+		return out
+	}
+	idx := make([]int, f.rank)
+	for d, sd := range sel {
+		if sd.Fixed {
+			idx[d] = sd.Index
+		}
+	}
+	flat := 0
+	var walk func(d int)
+	walk = func(d int) {
+		if d == f.rank {
+			out.SetFlat(s.data[s.flatten(idx)], flat)
+			flat++
+			return
+		}
+		if sel[d].Fixed {
+			walk(d + 1)
+			return
+		}
+		for i := 0; i < s.extents[d]; i++ {
+			idx[d] = i
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	return out
+}

@@ -1,0 +1,187 @@
+package field
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+)
+
+// Value is the dynamic scalar/array representation used throughout P2G: field
+// elements, kernel locals and interpreter values are all Values. A Value is
+// either a scalar of some numeric kind, a bool, a string, an arbitrary Go
+// payload (Kind Any), or a local multi-dimensional Array.
+//
+// Values are small and passed by value; Arrays are referenced by pointer, so
+// copying a Value that wraps an Array aliases the array. The runtime copies
+// arrays explicitly at fetch/store boundaries to preserve write-once
+// semantics.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	obj  any
+	arr  *Array
+}
+
+// Zero returns the zero value of the given kind.
+func Zero(k Kind) Value { return Value{kind: k} }
+
+// Int32Val wraps an int32 scalar.
+func Int32Val(v int32) Value { return Value{kind: Int32, i: int64(v)} }
+
+// Int64Val wraps an int64 scalar.
+func Int64Val(v int64) Value { return Value{kind: Int64, i: v} }
+
+// Uint8Val wraps a uint8 scalar.
+func Uint8Val(v uint8) Value { return Value{kind: Uint8, i: int64(v)} }
+
+// Float32Val wraps a float32 scalar.
+func Float32Val(v float32) Value { return Value{kind: Float32, f: float64(v)} }
+
+// Float64Val wraps a float64 scalar.
+func Float64Val(v float64) Value { return Value{kind: Float64, f: v} }
+
+// BoolVal wraps a bool.
+func BoolVal(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: Bool, i: i}
+}
+
+// StringVal wraps a string.
+func StringVal(v string) Value { return Value{kind: String, s: v} }
+
+// AnyVal wraps an arbitrary Go payload.
+func AnyVal(v any) Value { return Value{kind: Any, obj: v} }
+
+// ArrayVal wraps a local array.
+func ArrayVal(a *Array) Value { return Value{kind: a.kind, arr: a} }
+
+// Kind returns the element kind. For array values this is the array's element
+// kind; use IsArray to distinguish.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsArray reports whether the value wraps an Array.
+func (v Value) IsArray() bool { return v.arr != nil }
+
+// IsZero reports whether the value is the uninitialized Value.
+func (v Value) IsZero() bool { return v == Value{} }
+
+// Array returns the wrapped array, or nil if the value is a scalar.
+func (v Value) Array() *Array { return v.arr }
+
+// Int32 returns the scalar as int32, converting between numeric kinds.
+func (v Value) Int32() int32 { return int32(v.Int64()) }
+
+// Uint8 returns the scalar as uint8, converting between numeric kinds.
+func (v Value) Uint8() uint8 { return uint8(v.Int64()) }
+
+// Int64 returns the scalar as int64, converting between numeric kinds.
+func (v Value) Int64() int64 {
+	if v.kind.Float() {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+// Float64 returns the scalar as float64, converting between numeric kinds.
+func (v Value) Float64() float64 {
+	if v.kind.Float() {
+		return v.f
+	}
+	return float64(v.i)
+}
+
+// Float32 returns the scalar as float32, converting between numeric kinds.
+func (v Value) Float32() float32 { return float32(v.Float64()) }
+
+// Bool returns the scalar interpreted as a truth value (non-zero is true).
+func (v Value) Bool() bool {
+	if v.kind.Float() {
+		return v.f != 0
+	}
+	return v.i != 0
+}
+
+// Str returns the wrapped string (empty for non-string values).
+func (v Value) Str() string { return v.s }
+
+// Obj returns the wrapped Go payload (nil for non-Any values).
+func (v Value) Obj() any { return v.obj }
+
+// Convert coerces the value to the target kind. Converting an array value
+// returns it unchanged (arrays carry their own kind). Converting to Any wraps
+// nothing; the value keeps its representation but reports kind Any.
+func (v Value) Convert(k Kind) Value {
+	if v.arr != nil || v.kind == k {
+		return v
+	}
+	switch k {
+	case Int32, Int64, Uint8:
+		return Value{kind: k, i: v.Int64()}
+	case Float32, Float64:
+		return Value{kind: k, f: v.Float64()}
+	case Bool:
+		return BoolVal(v.Bool())
+	case String:
+		return StringVal(v.String())
+	case Any:
+		nv := v
+		nv.kind = Any
+		return nv
+	}
+	return Zero(k)
+}
+
+// Equal reports deep equality of two values. Arrays compare element-wise;
+// Any payloads compare with reflect.DeepEqual, so slice-backed payloads are
+// compared by content.
+func (v Value) Equal(o Value) bool {
+	if v.IsArray() != o.IsArray() {
+		return false
+	}
+	if v.IsArray() {
+		return v.arr.Equal(o.arr)
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch {
+	case v.kind == String:
+		return v.s == o.s
+	case v.kind == Any:
+		return reflect.DeepEqual(v.obj, o.obj)
+	case v.kind.Float():
+		return v.f == o.f
+	default:
+		return v.i == o.i
+	}
+}
+
+// String formats the value for diagnostics and the kernel-language cout
+// stream.
+func (v Value) String() string {
+	if v.arr != nil {
+		return v.arr.String()
+	}
+	switch {
+	case v.kind == Invalid:
+		return "<unset>"
+	case v.kind == String:
+		return v.s
+	case v.kind == Any:
+		return fmt.Sprintf("%v", v.obj)
+	case v.kind == Bool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case v.kind.Float():
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return strconv.FormatInt(v.i, 10)
+	}
+}

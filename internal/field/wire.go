@@ -1,0 +1,85 @@
+package field
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// wireValue is the gob representation of a Value. Any payloads are carried
+// through gob's interface mechanism; concrete payload types crossing node
+// boundaries must be registered with RegisterPayload.
+type wireValue struct {
+	Kind    Kind
+	IsArr   bool
+	I       int64
+	F       float64
+	S       string
+	HasObj  bool
+	Obj     any
+	Extents []int
+	Elems   []Value
+}
+
+// RegisterPayload registers a concrete Go type carried inside Any values so
+// it can cross node boundaries; it wraps gob.Register.
+func RegisterPayload(v any) { gob.Register(v) }
+
+// GobEncode implements gob.GobEncoder for Array by delegating to the Value
+// encoding.
+func (a *Array) GobEncode() ([]byte, error) { return ArrayVal(a).GobEncode() }
+
+// GobDecode implements gob.GobDecoder for Array.
+func (a *Array) GobDecode(data []byte) error {
+	var v Value
+	if err := v.GobDecode(data); err != nil {
+		return err
+	}
+	if v.arr == nil {
+		return fmt.Errorf("field: decoded value is not an array")
+	}
+	*a = *v.arr
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder for Value.
+func (v Value) GobEncode() ([]byte, error) {
+	w := wireValue{Kind: v.kind, I: v.i, F: v.f, S: v.s}
+	if v.obj != nil {
+		w.HasObj = true
+		w.Obj = v.obj
+	}
+	if v.arr != nil {
+		w.IsArr = true
+		w.Extents = v.arr.extents
+		w.Elems = v.arr.data
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("field: encoding value: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder for Value.
+func (v *Value) GobDecode(data []byte) error {
+	var w wireValue
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("field: decoding value: %w", err)
+	}
+	*v = Value{kind: w.Kind, i: w.I, f: w.F, s: w.S}
+	if w.HasObj {
+		v.obj = w.Obj
+	}
+	if w.IsArr {
+		n := 1
+		for _, e := range w.Extents {
+			n *= e
+		}
+		if len(w.Elems) != n {
+			return fmt.Errorf("field: decoded array has %d elements for extents %v", len(w.Elems), w.Extents)
+		}
+		v.arr = &Array{kind: w.Kind, extents: w.Extents, data: w.Elems}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package field
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"testing/quick"
+)
+
+// Property: scalar values of every numeric kind survive gob round trips.
+func TestQuickWireScalars(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool) bool {
+		for _, v := range []Value{
+			Int64Val(i), Float64Val(fl), StringVal(s), BoolVal(b),
+			Int32Val(int32(i)), Uint8Val(uint8(i)), Float32Val(float32(fl)),
+		} {
+			data, err := v.GobEncode()
+			if err != nil {
+				return false
+			}
+			var back Value
+			if err := back.GobDecode(data); err != nil {
+				return false
+			}
+			if !back.Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rank-1 and rank-2 arrays survive gob round trips.
+func TestQuickWireArrays(t *testing.T) {
+	f := func(vals []int32, w uint8) bool {
+		a := ArrayFromInt32(vals)
+		data, err := a.GobEncode()
+		if err != nil {
+			return false
+		}
+		back := &Array{}
+		if err := back.GobDecode(data); err != nil {
+			return false
+		}
+		if !back.Equal(a) {
+			return false
+		}
+		// rank-2
+		cols := int(w%4) + 1
+		m := NewArray(Float64, 3, cols)
+		for i := 0; i < m.Len(); i++ {
+			m.SetFlat(Float64Val(float64(i)*0.5), i)
+		}
+		data, err = m.GobEncode()
+		if err != nil {
+			return false
+		}
+		back = &Array{}
+		if err := back.GobDecode(data); err != nil {
+			return false
+		}
+		return back.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireThroughGobStream(t *testing.T) {
+	// Values nested in a struct, as the dist layer sends them.
+	type envelope struct {
+		V Value
+		A *Array
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	want := envelope{V: Int32Val(7), A: ArrayFromFloat64([]float64{1.5, 2.5})}
+	if err := enc.Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	var got envelope
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.V.Equal(want.V) || !got.A.Equal(want.A) {
+		t.Errorf("round trip %+v", got)
+	}
+}
+
+func TestWireDecodeErrors(t *testing.T) {
+	var v Value
+	if err := v.GobDecode([]byte("garbage")); err == nil {
+		t.Error("garbage should fail to decode")
+	}
+	var a Array
+	// A scalar value is not an array.
+	data, err := Int32Val(1).GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.GobDecode(data); err == nil {
+		t.Error("scalar payload should not decode into an Array")
+	}
+}
+
+func TestWireRegisteredPayload(t *testing.T) {
+	type blob struct{ X int }
+	RegisterPayload(blob{})
+	v := AnyVal(blob{42})
+	data, err := v.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Value
+	if err := back.GobDecode(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Obj().(blob).X != 42 {
+		t.Errorf("payload %v", back.Obj())
+	}
+}

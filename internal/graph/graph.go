@@ -1,0 +1,405 @@
+// Package graph derives P2G's dependency graphs from a program: the
+// intermediate implicit static dependency graph (paper figure 2, kernels and
+// fields as vertices), the final implicit static dependency graph (figure 3,
+// field vertices merged away, kernel-to-kernel edges), and the dynamically
+// created directed acyclic dependency graph (DC-DAG, figure 4) obtained by
+// unrolling ages.
+//
+// The final graph is the input to the high-level scheduler's partitioning
+// (package sched); the DC-DAG is what the low-level scheduler effectively
+// executes, and what tools print for offline analysis.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// VertexKind discriminates intermediate-graph vertices.
+type VertexKind uint8
+
+// Vertex kinds of the intermediate graph.
+const (
+	KernelVertex VertexKind = iota
+	FieldVertex
+)
+
+// Vertex is a node of the intermediate graph.
+type Vertex struct {
+	Name string
+	Kind VertexKind
+}
+
+// Arc is a directed edge of the intermediate graph: kernel→field for store
+// statements, field→kernel for fetch statements. Label carries the age
+// expression in kernel-language syntax.
+type Arc struct {
+	From, To string
+	Label    string
+}
+
+// Intermediate is the implicit static dependency graph of figure 2.
+type Intermediate struct {
+	Vertices []Vertex
+	Arcs     []Arc
+}
+
+// BuildIntermediate derives the intermediate graph from the program's fetch
+// and store statements.
+func BuildIntermediate(p *core.Program) *Intermediate {
+	g := &Intermediate{}
+	for _, k := range p.Kernels {
+		g.Vertices = append(g.Vertices, Vertex{Name: k.Name, Kind: KernelVertex})
+	}
+	for _, f := range p.Fields {
+		g.Vertices = append(g.Vertices, Vertex{Name: f.Name, Kind: FieldVertex})
+	}
+	for _, k := range p.Kernels {
+		for _, s := range k.Stores {
+			g.Arcs = append(g.Arcs, Arc{From: k.Name, To: s.Field, Label: s.Age.String()})
+		}
+		for _, f := range k.Fetches {
+			g.Arcs = append(g.Arcs, Arc{From: f.Field, To: k.Name, Label: f.Age.String()})
+		}
+	}
+	return g
+}
+
+// DOT renders the intermediate graph in Graphviz format; field vertices are
+// drawn as boxes, kernels as ellipses.
+func (g *Intermediate) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	for _, v := range g.Vertices {
+		shape := "ellipse"
+		if v.Kind == FieldVertex {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", v.Name, shape)
+	}
+	for _, a := range g.Arcs {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", a.From, a.To, a.Label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Edge is a kernel-to-kernel edge of the final graph: From produced Field,
+// To consumes it. AgeDelta is the number of ages the data crosses (consumer
+// age minus producer age); a positive delta is an aging edge, which is what
+// lets cyclic programs unroll into a DAG. Weight carries communication volume
+// for partitioning (instances observed, or 1 before instrumentation).
+//
+// Progressive marks a same-age edge whose producing store coordinates lead
+// the consuming fetch coordinates by a strictly positive index offset in some
+// dimension (and never trail): instance-level dependencies then always point
+// "forward" through the index space, so the edge cannot deadlock even inside
+// a cycle — the wavefront pattern of H.264 intra prediction (§III).
+type Edge struct {
+	From, To    string
+	Field       string
+	AgeDelta    int
+	Abs         bool // consumer uses an absolute-age fetch (data crosses all ages)
+	Progressive bool
+	Weight      float64
+}
+
+// Node is a kernel node of the final graph; Weight carries computational cost
+// for partitioning (kernel time observed, or 1 before instrumentation).
+type Node struct {
+	Name   string
+	Weight float64
+}
+
+// Final is the final implicit static dependency graph of figure 3: field
+// vertices are merged away, leaving weighted kernel-to-kernel edges.
+type Final struct {
+	Nodes []Node
+	Edges []Edge
+}
+
+// BuildFinal derives the final graph by merging every producer→field→consumer
+// path of the intermediate graph into a single edge.
+func BuildFinal(p *core.Program) *Final {
+	g := &Final{}
+	for _, k := range p.Kernels {
+		g.Nodes = append(g.Nodes, Node{Name: k.Name, Weight: 1})
+	}
+	for _, f := range p.Fields {
+		for _, pe := range p.Producers(f.Name) {
+			for _, ce := range p.Consumers(f.Name) {
+				e := Edge{From: pe.Kernel.Name, To: ce.Kernel.Name, Field: f.Name, Weight: 1}
+				switch {
+				case pe.Store.Age.HasVar && ce.Fetch.Age.HasVar:
+					e.AgeDelta = pe.Store.Age.Offset - ce.Fetch.Age.Offset
+				case !ce.Fetch.Age.HasVar && pe.Store.Age.HasVar,
+					!pe.Store.Age.HasVar && ce.Fetch.Age.HasVar:
+					e.Abs = true
+				default:
+					// Both absolute: connected only if the same age.
+					if pe.Store.Age.Offset != ce.Fetch.Age.Offset {
+						continue
+					}
+				}
+				e.Progressive = progressive(pe.Store.Index, ce.Fetch.Index)
+				g.Edges = append(g.Edges, e)
+			}
+		}
+	}
+	return g
+}
+
+// Node returns the named node, or nil.
+func (g *Final) Node(name string) *Node {
+	for i := range g.Nodes {
+		if g.Nodes[i].Name == name {
+			return &g.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// SetNodeWeights installs computational weights (e.g. total kernel time per
+// kernel from instrumentation). Unknown names are ignored.
+func (g *Final) SetNodeWeights(w map[string]float64) {
+	for i := range g.Nodes {
+		if v, ok := w[g.Nodes[i].Name]; ok {
+			g.Nodes[i].Weight = v
+		}
+	}
+}
+
+// SetEdgeWeights installs communication weights keyed by "from→to:field".
+func (g *Final) SetEdgeWeights(w map[string]float64) {
+	for i := range g.Edges {
+		if v, ok := w[g.Edges[i].Key()]; ok {
+			g.Edges[i].Weight = v
+		}
+	}
+}
+
+// Key identifies an edge for weighting: "from→to:field".
+func (e Edge) Key() string { return e.From + "→" + e.To + ":" + e.Field }
+
+// DOT renders the final graph.
+func (g *Final) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  %q [label=\"%s (%.3g)\"];\n", n.Name, n.Name, n.Weight)
+	}
+	for _, e := range g.Edges {
+		lbl := e.Field
+		if e.Abs {
+			lbl += " (abs)"
+		} else if e.AgeDelta != 0 {
+			lbl += fmt.Sprintf(" (+%d)", e.AgeDelta)
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.From, e.To, lbl)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// progressive reports whether a same-age store→fetch pair advances strictly
+// through the index space: the store's variable coordinates lead the fetch's
+// by a non-negative offset in every dimension and a positive one somewhere.
+// Such dependencies order instances into a wavefront and cannot deadlock.
+func progressive(store, fetch []core.IndexSpec) bool {
+	if store == nil || fetch == nil || len(store) != len(fetch) {
+		return false
+	}
+	leads := false
+	for d := range store {
+		s, f := store[d], fetch[d]
+		if s.Kind != core.IndexVarKind || f.Kind != core.IndexVarKind || s.Var != f.Var {
+			// Literal or slab coordinates give no ordering information;
+			// require variable-to-variable comparison on this dimension.
+			if s.Kind == core.IndexLitKind && f.Kind == core.IndexLitKind && s.Lit == f.Lit {
+				continue // same fixed coordinate: neutral
+			}
+			return false
+		}
+		switch {
+		case s.Off > f.Off:
+			leads = true
+		case s.Off < f.Off:
+			return false
+		}
+	}
+	return leads
+}
+
+// CheckSchedulable verifies the final graph has no zero-delay cycle: a cycle
+// whose edges are all within a single age can never be satisfied (each kernel
+// would wait on the other within the same generation). Cycles that cross an
+// age boundary (positive total delta, like mul2/plus5) are fine — aging
+// unrolls them — as are progressive (wavefront-ordered) edges.
+func (g *Final) CheckSchedulable() error {
+	// DFS over edges with AgeDelta == 0, not Abs and not Progressive.
+	adj := map[string][]string{}
+	for _, e := range g.Edges {
+		if e.AgeDelta == 0 && !e.Abs && !e.Progressive {
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var cycle []string
+	var dfs func(string) bool
+	dfs = func(u string) bool {
+		color[u] = gray
+		for _, v := range adj[u] {
+			switch color[v] {
+			case gray:
+				cycle = append(cycle, v, u)
+				return true
+			case white:
+				if dfs(v) {
+					cycle = append(cycle, u)
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, n := range g.Nodes {
+		if color[n.Name] == white && dfs(n.Name) {
+			return fmt.Errorf("graph: zero-delay cycle through %s: the program can never satisfy its own dependencies within one age", strings.Join(cycle, " ← "))
+		}
+	}
+	return nil
+}
+
+// DCNode is one vertex of the unrolled DC-DAG: a kernel at a concrete age.
+type DCNode struct {
+	Kernel string
+	Age    int
+}
+
+// DCDAG is the dynamically created directed acyclic dependency graph of
+// figure 4: the final graph unrolled over a bounded range of ages.
+type DCDAG struct {
+	Nodes []DCNode
+	Edges [][2]int // indices into Nodes
+}
+
+// Unroll expands the final graph over ages 0..maxAge. Edges whose target age
+// falls outside the range are dropped; absolute-age edges fan out from the
+// producer's age to every age.
+func Unroll(g *Final, maxAge int) *DCDAG {
+	d := &DCDAG{}
+	idx := map[DCNode]int{}
+	node := func(k string, a int) int {
+		n := DCNode{Kernel: k, Age: a}
+		if i, ok := idx[n]; ok {
+			return i
+		}
+		idx[n] = len(d.Nodes)
+		d.Nodes = append(d.Nodes, n)
+		return len(d.Nodes) - 1
+	}
+	for _, n := range g.Nodes {
+		for a := 0; a <= maxAge; a++ {
+			node(n.Name, a)
+		}
+	}
+	for _, e := range g.Edges {
+		for a := 0; a <= maxAge; a++ {
+			if e.Abs {
+				for b := 0; b <= maxAge; b++ {
+					d.Edges = append(d.Edges, [2]int{node(e.From, a), node(e.To, b)})
+				}
+				continue
+			}
+			ta := a + e.AgeDelta
+			if ta >= 0 && ta <= maxAge {
+				d.Edges = append(d.Edges, [2]int{node(e.From, a), node(e.To, ta)})
+			}
+		}
+	}
+	return d
+}
+
+// TopoOrder returns a topological order of the DC-DAG, or an error if the
+// unrolled graph still contains a cycle (which CheckSchedulable would have
+// flagged on the final graph).
+func (d *DCDAG) TopoOrder() ([]DCNode, error) {
+	indeg := make([]int, len(d.Nodes))
+	adj := make([][]int, len(d.Nodes))
+	for _, e := range d.Edges {
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("graph: self-dependent node %v in DC-DAG", d.Nodes[e[0]])
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+		indeg[e[1]]++
+	}
+	var queue []int
+	for i, deg := range indeg {
+		if deg == 0 {
+			queue = append(queue, i)
+		}
+	}
+	// Deterministic order: by (age, kernel) among available nodes.
+	less := func(i, j int) bool {
+		a, b := d.Nodes[queue[i]], d.Nodes[queue[j]]
+		if a.Age != b.Age {
+			return a.Age < b.Age
+		}
+		return a.Kernel < b.Kernel
+	}
+	var order []DCNode
+	for len(queue) > 0 {
+		sort.Slice(queue, less)
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, d.Nodes[u])
+		for _, v := range adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != len(d.Nodes) {
+		return nil, fmt.Errorf("graph: DC-DAG contains a cycle (%d of %d nodes ordered)", len(order), len(d.Nodes))
+	}
+	return order, nil
+}
+
+// DOT renders the DC-DAG, grouping nodes by age like figure 4.
+func (d *DCDAG) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", name)
+	byAge := map[int][]DCNode{}
+	maxAge := 0
+	for _, n := range d.Nodes {
+		byAge[n.Age] = append(byAge[n.Age], n)
+		if n.Age > maxAge {
+			maxAge = n.Age
+		}
+	}
+	for a := 0; a <= maxAge; a++ {
+		fmt.Fprintf(&b, "  subgraph cluster_age%d {\n    label=\"Age=%d\";\n", a, a)
+		ns := byAge[a]
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Kernel < ns[j].Kernel })
+		for _, n := range ns {
+			fmt.Fprintf(&b, "    \"%s@%d\";\n", n.Kernel, n.Age)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range d.Edges {
+		f, t := d.Nodes[e[0]], d.Nodes[e[1]]
+		fmt.Fprintf(&b, "  \"%s@%d\" -> \"%s@%d\";\n", f.Kernel, f.Age, t.Kernel, t.Age)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

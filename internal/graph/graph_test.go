@@ -1,0 +1,293 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/field"
+)
+
+// fig5 builds the structure of the paper's figure 5 program (bodies omitted;
+// graphs only depend on declarations).
+func fig5(t *testing.T) *core.Program {
+	t.Helper()
+	b := core.NewBuilder("mulsum")
+	b.Field("m_data", field.Int32, 1, true)
+	b.Field("p_data", field.Int32, 1, true)
+	b.Kernel("init").
+		Local("values", field.Int32, 1).
+		StoreAll("m_data", core.AgeAt(0), "values").Body(nil)
+	b.Kernel("mul2").Age("a").Index("x").
+		Local("value", field.Int32, 0).
+		Fetch("value", "m_data", core.AgeVar(0), core.Idx("x")).
+		Store("p_data", core.AgeVar(0), []core.IndexSpec{core.Idx("x")}, "value").Body(nil)
+	b.Kernel("plus5").Age("a").Index("x").
+		Local("value", field.Int32, 0).
+		Fetch("value", "p_data", core.AgeVar(0), core.Idx("x")).
+		Store("m_data", core.AgeVar(1), []core.IndexSpec{core.Idx("x")}, "value").Body(nil)
+	b.Kernel("print").Age("a").
+		Local("m", field.Int32, 1).Local("p", field.Int32, 1).
+		FetchAll("m", "m_data", core.AgeVar(0)).
+		FetchAll("p", "p_data", core.AgeVar(0)).Body(nil)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestIntermediateGraphFig2(t *testing.T) {
+	g := BuildIntermediate(fig5(t))
+	if len(g.Vertices) != 6 { // 4 kernels + 2 fields
+		t.Fatalf("vertices = %d, want 6", len(g.Vertices))
+	}
+	kinds := map[string]VertexKind{}
+	for _, v := range g.Vertices {
+		kinds[v.Name] = v.Kind
+	}
+	if kinds["m_data"] != FieldVertex || kinds["mul2"] != KernelVertex {
+		t.Error("vertex kinds")
+	}
+	// Arcs: init→m_data, mul2→p_data, plus5→m_data (stores);
+	// m_data→mul2, p_data→plus5, m_data→print, p_data→print (fetches).
+	if len(g.Arcs) != 7 {
+		t.Fatalf("arcs = %d, want 7", len(g.Arcs))
+	}
+	has := func(from, to string) bool {
+		for _, a := range g.Arcs {
+			if a.From == from && a.To == to {
+				return true
+			}
+		}
+		return false
+	}
+	for _, pair := range [][2]string{
+		{"init", "m_data"}, {"mul2", "p_data"}, {"plus5", "m_data"},
+		{"m_data", "mul2"}, {"p_data", "plus5"}, {"m_data", "print"}, {"p_data", "print"},
+	} {
+		if !has(pair[0], pair[1]) {
+			t.Errorf("missing arc %s -> %s", pair[0], pair[1])
+		}
+	}
+}
+
+func TestFinalGraphFig3(t *testing.T) {
+	g := BuildFinal(fig5(t))
+	if len(g.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(g.Nodes))
+	}
+	type key struct {
+		from, to string
+		delta    int
+	}
+	got := map[key]bool{}
+	for _, e := range g.Edges {
+		got[key{e.From, e.To, e.AgeDelta}] = true
+	}
+	// init→mul2 and init→print via m_data (abs edges carry delta 0 + Abs flag,
+	// tested below); mul2→plus5 delta 0; plus5→mul2 delta +1 (the aging edge
+	// that unrolls the cycle); mul2→print delta 0; plus5→print delta +1.
+	for _, k := range []key{
+		{"mul2", "plus5", 0}, {"plus5", "mul2", 1},
+		{"mul2", "print", 0}, {"plus5", "print", 1},
+	} {
+		if !got[k] {
+			t.Errorf("missing final edge %+v (have %v)", k, got)
+		}
+	}
+	abs := 0
+	for _, e := range g.Edges {
+		if e.Abs {
+			abs++
+			if e.From != "init" {
+				t.Errorf("unexpected abs edge %+v", e)
+			}
+		}
+	}
+	if abs != 2 { // init's absolute store reaches mul2 and print
+		t.Errorf("abs edges = %d, want 2", abs)
+	}
+	if err := g.CheckSchedulable(); err != nil {
+		t.Errorf("fig5 should be schedulable: %v", err)
+	}
+}
+
+func TestFinalGraphWeights(t *testing.T) {
+	g := BuildFinal(fig5(t))
+	g.SetNodeWeights(map[string]float64{"mul2": 42, "zzz": 1})
+	if g.Node("mul2").Weight != 42 {
+		t.Error("node weight not applied")
+	}
+	if g.Node("zzz") != nil {
+		t.Error("unknown node lookup")
+	}
+	var k string
+	for _, e := range g.Edges {
+		if e.From == "mul2" && e.To == "plus5" {
+			k = e.Key()
+		}
+	}
+	g.SetEdgeWeights(map[string]float64{k: 7})
+	found := false
+	for _, e := range g.Edges {
+		if e.Key() == k && e.Weight == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("edge weight not applied")
+	}
+}
+
+func TestZeroDelayCycleDetected(t *testing.T) {
+	b := core.NewBuilder("bad")
+	b.Field("f", field.Int32, 1, true)
+	b.Field("g", field.Int32, 1, true)
+	b.Kernel("A").Age("a").Index("x").
+		Local("v", field.Int32, 0).
+		Fetch("v", "g", core.AgeVar(0), core.Idx("x")).
+		Store("f", core.AgeVar(0), []core.IndexSpec{core.Idx("x")}, "v").Body(nil)
+	b.Kernel("B").Age("a").Index("x").
+		Local("v", field.Int32, 0).
+		Fetch("v", "f", core.AgeVar(0), core.Idx("x")).
+		Store("g", core.AgeVar(0), []core.IndexSpec{core.Idx("x")}, "v").Body(nil)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildFinal(p)
+	if err := g.CheckSchedulable(); err == nil {
+		t.Fatal("zero-delay cycle should be rejected")
+	} else if !strings.Contains(err.Error(), "zero-delay cycle") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestUnrollDCDAGFig4(t *testing.T) {
+	g := BuildFinal(fig5(t))
+	d := Unroll(g, 3)
+	if len(d.Nodes) != 16 { // 4 kernels x 4 ages
+		t.Fatalf("DC-DAG nodes = %d, want 16", len(d.Nodes))
+	}
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatalf("unrolled cyclic program must be acyclic: %v", err)
+	}
+	pos := map[DCNode]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	// Dependencies hold in the order: mul2@a before plus5@a before mul2@a+1.
+	for a := 0; a < 3; a++ {
+		if pos[DCNode{"mul2", a}] > pos[DCNode{"plus5", a}] {
+			t.Errorf("mul2@%d should precede plus5@%d", a, a)
+		}
+		if pos[DCNode{"plus5", a}] > pos[DCNode{"mul2", a + 1}] {
+			t.Errorf("plus5@%d should precede mul2@%d", a, a+1)
+		}
+	}
+}
+
+func TestDOTOutputs(t *testing.T) {
+	p := fig5(t)
+	ig := BuildIntermediate(p).DOT("mulsum")
+	for _, want := range []string{"digraph", "m_data", "shape=box", "mul2"} {
+		if !strings.Contains(ig, want) {
+			t.Errorf("intermediate DOT missing %q", want)
+		}
+	}
+	fg := BuildFinal(p).DOT("mulsum")
+	for _, want := range []string{"digraph", "mul2", "p_data"} {
+		if !strings.Contains(fg, want) {
+			t.Errorf("final DOT missing %q", want)
+		}
+	}
+	dd := Unroll(BuildFinal(p), 2).DOT("mulsum")
+	for _, want := range []string{"cluster_age0", "cluster_age2", "mul2@1"} {
+		if !strings.Contains(dd, want) {
+			t.Errorf("DC-DAG DOT missing %q", want)
+		}
+	}
+}
+
+func TestTopoOrderDetectsSelfLoop(t *testing.T) {
+	d := &DCDAG{Nodes: []DCNode{{"A", 0}}, Edges: [][2]int{{0, 0}}}
+	if _, err := d.TopoOrder(); err == nil {
+		t.Error("self loop should error")
+	}
+}
+
+func TestProgressiveEdges(t *testing.T) {
+	// A wavefront kernel: fetches pred(a)[x][y+1] and pred(a)[x+1][y],
+	// stores pred(a)[x+1][y+1] — a same-age self-cycle that is nonetheless
+	// schedulable because every dependency advances through the index
+	// space.
+	b := core.NewBuilder("wf")
+	b.Field("in", field.Int32, 2, true)
+	b.Field("pred", field.Int32, 2, true)
+	b.Kernel("predict").Age("a").Index("x", "y").
+		Local("c", field.Int32, 0).
+		Local("l", field.Int32, 0).
+		Local("t", field.Int32, 0).
+		Local("r", field.Int32, 0).
+		Fetch("c", "in", core.AgeVar(0), core.Idx("x"), core.Idx("y")).
+		Fetch("t", "pred", core.AgeVar(0), core.Idx("x"), core.IdxOff("y", 1)).
+		Fetch("l", "pred", core.AgeVar(0), core.IdxOff("x", 1), core.Idx("y")).
+		Store("pred", core.AgeVar(0), []core.IndexSpec{core.IdxOff("x", 1), core.IdxOff("y", 1)}, "r").
+		Body(nil)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildFinal(p)
+	prog := 0
+	for _, e := range g.Edges {
+		if e.From == "predict" && e.To == "predict" {
+			if !e.Progressive {
+				t.Errorf("self edge %+v should be progressive", e)
+			}
+			prog++
+		}
+	}
+	if prog != 2 {
+		t.Errorf("expected 2 progressive self edges, got %d", prog)
+	}
+	if err := g.CheckSchedulable(); err != nil {
+		t.Errorf("wavefront should be schedulable: %v", err)
+	}
+}
+
+func TestNonProgressiveCycleStillRejected(t *testing.T) {
+	// A same-age self-cycle with equal coordinates cannot make progress.
+	b := core.NewBuilder("bad")
+	b.Field("f", field.Int32, 1, true)
+	b.Field("g", field.Int32, 1, true)
+	b.Kernel("k").Age("a").Index("x").
+		Local("v", field.Int32, 0).
+		Local("w", field.Int32, 0).
+		Fetch("v", "f", core.AgeVar(0), core.Idx("x")).
+		Fetch("w", "g", core.AgeVar(0), core.Idx("x")).
+		Store("g", core.AgeVar(0), []core.IndexSpec{core.Idx("x")}, "w").
+		Body(nil)
+	b.Kernel("src").
+		Local("v", field.Int32, 1).
+		StoreAll("f", core.AgeAt(0), "v").Body(nil)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BuildFinal(p).CheckSchedulable(); err == nil {
+		t.Error("same-coordinate self cycle must be rejected")
+	}
+	// Trailing offsets (store behind the fetch) are also rejected.
+	if progressive(
+		[]core.IndexSpec{core.Idx("x")},
+		[]core.IndexSpec{core.IdxOff("x", 1)},
+	) {
+		t.Error("store trailing fetch is not progressive")
+	}
+	if progressive(nil, nil) || progressive([]core.IndexSpec{core.Lit(0)}, []core.IndexSpec{core.Lit(1)}) {
+		t.Error("degenerate specs are not progressive")
+	}
+}

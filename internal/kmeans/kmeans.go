@@ -1,0 +1,164 @@
+// Package kmeans implements the K-means clustering substrate for the P2G
+// evaluation workload (paper §VII-A): deterministic dataset generation, the
+// assign and refine steps used by the P2G kernels, and a sequential baseline
+// the dataflow version is verified against.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a point in d-dimensional Euclidean space.
+type Point []float64
+
+// Clone returns a copy of the point.
+func (p Point) Clone() Point { return append(Point(nil), p...) }
+
+// SqDist returns the squared Euclidean distance between two points.
+func SqDist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// splitmix64 is a small deterministic PRNG used for dataset generation, so
+// datasets are identical across platforms and runs.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+func (s *splitmix64) float() float64 { return float64(s.next()>>11) / (1 << 53) }
+
+// Generate produces n points of the given dimensionality drawn around
+// `clusters` well-separated centers — the "randomly generated data set" of
+// §VIII-B, but reproducible. The same seed yields the same dataset.
+func Generate(n, dim, clusters int, seed uint64) []Point {
+	if n <= 0 || dim <= 0 || clusters <= 0 {
+		panic(fmt.Sprintf("kmeans: invalid Generate(%d, %d, %d)", n, dim, clusters))
+	}
+	rng := splitmix64(seed)
+	centers := make([]Point, clusters)
+	for c := range centers {
+		centers[c] = make(Point, dim)
+		for d := range centers[c] {
+			centers[c][d] = rng.float() * 100
+		}
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		c := centers[rng.next()%uint64(clusters)]
+		p := make(Point, dim)
+		for d := range p {
+			// Uniform jitter around the center; spread 6 keeps clusters
+			// distinguishable without being trivially separable.
+			p[d] = c[d] + (rng.float()-0.5)*6
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// InitialCentroids selects k points of the dataset as starting centroids.
+// The paper selects k datapoints "randomly"; for reproducibility this picks
+// a deterministic spread (every n/k-th point).
+func InitialCentroids(points []Point, k int) []Point {
+	if k <= 0 || k > len(points) {
+		panic(fmt.Sprintf("kmeans: k=%d for %d points", k, len(points)))
+	}
+	out := make([]Point, k)
+	step := len(points) / k
+	for i := 0; i < k; i++ {
+		out[i] = points[i*step].Clone()
+	}
+	return out
+}
+
+// Assign returns the index of the centroid nearest to p — the body of the
+// paper's per-datapoint assign kernel.
+func Assign(p Point, centroids []Point) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		if d := SqDist(p, cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Refine returns the new centroid for cluster c: the mean of the member
+// points, or the previous centroid if the cluster is empty — the body of the
+// paper's per-cluster refine kernel.
+func Refine(c int, points []Point, membership []int, prev Point) Point {
+	dim := len(prev)
+	sum := make(Point, dim)
+	n := 0
+	for i, m := range membership {
+		if m != c {
+			continue
+		}
+		for d := 0; d < dim; d++ {
+			sum[d] += points[i][d]
+		}
+		n++
+	}
+	if n == 0 {
+		return prev.Clone()
+	}
+	for d := range sum {
+		sum[d] /= float64(n)
+	}
+	return sum
+}
+
+// Result holds the output of a K-means run.
+type Result struct {
+	Centroids  []Point
+	Membership []int
+	// Shifts[i] is the total centroid movement in iteration i; a shift of
+	// zero means the algorithm converged at that iteration.
+	Shifts []float64
+}
+
+// Sequential runs iters iterations of Lloyd's algorithm single-threaded —
+// the baseline the P2G version is checked against (identical arithmetic, so
+// results must match bit for bit).
+func Sequential(points []Point, k, iters int) *Result {
+	cents := InitialCentroids(points, k)
+	res := &Result{Membership: make([]int, len(points))}
+	for it := 0; it < iters; it++ {
+		for i, p := range points {
+			res.Membership[i] = Assign(p, cents)
+		}
+		next := make([]Point, k)
+		var shift float64
+		for c := 0; c < k; c++ {
+			next[c] = Refine(c, points, res.Membership, cents[c])
+			shift += math.Sqrt(SqDist(next[c], cents[c]))
+		}
+		cents = next
+		res.Shifts = append(res.Shifts, shift)
+	}
+	res.Centroids = cents
+	return res
+}
+
+// Inertia returns the sum of squared distances from each point to its
+// assigned centroid — the quantity K-means minimizes; used to verify that
+// iterations improve the clustering.
+func Inertia(points []Point, centroids []Point, membership []int) float64 {
+	var s float64
+	for i, p := range points {
+		s += SqDist(p, centroids[membership[i]])
+	}
+	return s
+}

@@ -1,0 +1,162 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(100, 2, 5, 42)
+	b := Generate(100, 2, 5, 42)
+	for i := range a {
+		if SqDist(a[i], b[i]) != 0 {
+			t.Fatalf("point %d differs between equal seeds", i)
+		}
+	}
+	c := Generate(100, 2, 5, 43)
+	same := true
+	for i := range a {
+		if SqDist(a[i], c[i]) != 0 {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	pts := Generate(50, 3, 4, 1)
+	if len(pts) != 50 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if len(p) != 3 {
+			t.Fatal("dimensionality")
+		}
+	}
+	for _, bad := range [][3]int{{0, 2, 2}, {2, 0, 2}, {2, 2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Generate%v should panic", bad)
+				}
+			}()
+			Generate(bad[0], bad[1], bad[2], 0)
+		}()
+	}
+}
+
+func TestInitialCentroids(t *testing.T) {
+	pts := Generate(100, 2, 3, 7)
+	cents := InitialCentroids(pts, 10)
+	if len(cents) != 10 {
+		t.Fatal("centroid count")
+	}
+	// Centroids are copies, not aliases.
+	cents[0][0] += 1000
+	if pts[0][0] == cents[0][0] {
+		t.Error("centroid aliases dataset")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("k > n should panic")
+		}
+	}()
+	InitialCentroids(pts[:5], 10)
+}
+
+// Property: Assign returns an index whose distance is minimal.
+func TestQuickAssignIsNearest(t *testing.T) {
+	f := func(seed uint64) bool {
+		rngPts := Generate(20, 2, 3, seed)
+		cents := rngPts[:5]
+		p := rngPts[10]
+		got := Assign(p, cents)
+		for c := range cents {
+			if SqDist(p, cents[c]) < SqDist(p, cents[got]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefineMeanAndEmpty(t *testing.T) {
+	pts := []Point{{0, 0}, {2, 0}, {0, 2}, {10, 10}}
+	membership := []int{0, 0, 0, 1}
+	c0 := Refine(0, pts, membership, Point{9, 9})
+	if c0[0] != 2.0/3 || c0[1] != 2.0/3 {
+		t.Errorf("refine mean = %v", c0)
+	}
+	// Empty cluster keeps the previous centroid.
+	prev := Point{5, 5}
+	c2 := Refine(2, pts, membership, prev)
+	if c2[0] != 5 || c2[1] != 5 {
+		t.Errorf("empty cluster centroid = %v", c2)
+	}
+	c2[0] = 99
+	if prev[0] == 99 {
+		t.Error("refine must copy the previous centroid, not alias it")
+	}
+}
+
+func TestSequentialConvergesOnSeparatedClusters(t *testing.T) {
+	// Three well-separated clusters: K-means with k=3 must converge and
+	// inertia must be non-increasing across iterations.
+	var pts []Point
+	rng := splitmix64(9)
+	centers := []Point{{0, 0}, {100, 0}, {0, 100}}
+	for i := 0; i < 300; i++ {
+		c := centers[i%3]
+		pts = append(pts, Point{c[0] + rng.float(), c[1] + rng.float()})
+	}
+	res := Sequential(pts, 3, 15)
+	if res.Shifts[len(res.Shifts)-1] != 0 {
+		t.Errorf("expected convergence, final shift %v", res.Shifts[len(res.Shifts)-1])
+	}
+	// Each final centroid sits inside one true cluster.
+	for _, c := range res.Centroids {
+		ok := false
+		for _, tc := range centers {
+			if SqDist(c, tc) < 4 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("centroid %v is not near any true center", c)
+		}
+	}
+	if in := Inertia(pts, res.Centroids, res.Membership); in > float64(len(pts)) {
+		t.Errorf("inertia %v too high for unit-jitter clusters", in)
+	}
+}
+
+func TestSequentialInertiaNonIncreasing(t *testing.T) {
+	pts := Generate(500, 2, 10, 3)
+	prev := math.Inf(1)
+	for iters := 1; iters <= 8; iters++ {
+		res := Sequential(pts, 10, iters)
+		in := Inertia(pts, res.Centroids, res.Membership)
+		// Allow tiny numerical slack; Lloyd's algorithm is monotone.
+		if in > prev*1.0000001 {
+			t.Fatalf("inertia increased at iteration %d: %v -> %v", iters, prev, in)
+		}
+		prev = in
+	}
+}
+
+func TestSequentialDeterministic(t *testing.T) {
+	pts := Generate(200, 2, 5, 5)
+	a := Sequential(pts, 5, 10)
+	b := Sequential(pts, 5, 10)
+	for c := range a.Centroids {
+		if SqDist(a.Centroids[c], b.Centroids[c]) != 0 {
+			t.Fatal("sequential runs differ")
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package lang
+
+import "repro/internal/field"
+
+// File is a parsed kernel-language source file.
+type File struct {
+	Fields  []FieldDecl
+	Timers  []TimerDecl
+	Kernels []KernelDef
+}
+
+// FieldDecl is a top-level field declaration: `int32[] m_data age;`.
+type FieldDecl struct {
+	Tok  Token
+	Kind field.Kind
+	Rank int
+	Name string
+	Aged bool
+}
+
+// TimerDecl is `timer t1;`.
+type TimerDecl struct {
+	Tok  Token
+	Name string
+}
+
+// KernelDef is one kernel definition: `name:` followed by its statements.
+type KernelDef struct {
+	Tok     Token
+	Name    string
+	AgeVar  string
+	Indexes []string
+	Locals  []LocalDecl
+	Fetches []FetchDecl
+	Stores  []StoreDecl
+	Blocks  []Block // code blocks in source order
+}
+
+// LocalDecl is `local int32[] values;`.
+type LocalDecl struct {
+	Tok  Token
+	Kind field.Kind
+	Rank int
+	Name string
+}
+
+// AgeRef is an age expression in a field reference: var, var+offset, or
+// absolute literal.
+type AgeRef struct {
+	Tok    Token
+	Var    string // "" for absolute
+	Offset int
+}
+
+// IndexRef is one index coordinate: a variable (optionally with a constant
+// offset, `x+1`), a literal, or a slab spanning the whole dimension (`[]`).
+type IndexRef struct {
+	Tok Token
+	Var string // "" for literal or slab
+	Lit int
+	Off int // constant offset on Var coordinates
+	All bool
+}
+
+// FieldRef is `name(age)[i][j]...`; empty Index means the whole field.
+type FieldRef struct {
+	Tok   Token
+	Field string
+	Age   AgeRef
+	Index []IndexRef
+	Whole bool
+}
+
+// FetchDecl is `fetch local = fieldref;`.
+type FetchDecl struct {
+	Tok   Token
+	Local string
+	Ref   FieldRef
+}
+
+// StoreDecl is `store fieldref = local;`.
+type StoreDecl struct {
+	Tok   Token
+	Ref   FieldRef
+	Local string
+}
+
+// ---- Code-block AST (the C-like native language) ----
+
+// Block is a `%{ ... %}` code block or a braced statement list.
+type Block struct {
+	Tok   Token
+	Stmts []Stmt
+}
+
+// Stmt is a code-block statement.
+type Stmt interface{ stmt() }
+
+// DeclStmt declares a block-local variable: `int i = 0;`.
+type DeclStmt struct {
+	Tok  Token
+	Kind field.Kind
+	Name string
+	Init Expr // may be nil
+}
+
+// AssignStmt is `lhs op= expr;` where op is one of =, +=, -=, *=, /=, %=.
+type AssignStmt struct {
+	Tok  Token
+	Name string
+	Op   string
+	Val  Expr
+}
+
+// IncStmt is `x++;` or `x--;` (also usable as a for-loop post clause).
+type IncStmt struct {
+	Tok  Token
+	Name string
+	Op   string // "++" or "--"
+}
+
+// IfStmt is `if (cond) { } else { }`.
+type IfStmt struct {
+	Tok  Token
+	Cond Expr
+	Then Block
+	Else *Block // nil when absent
+}
+
+// ForStmt is `for (init; cond; post) { }`; any clause may be nil.
+type ForStmt struct {
+	Tok  Token
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Block
+}
+
+// WhileStmt is `while (cond) { }`.
+type WhileStmt struct {
+	Tok  Token
+	Cond Expr
+	Body Block
+}
+
+// BreakStmt and ContinueStmt are loop controls.
+type BreakStmt struct{ Tok Token }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Tok Token }
+
+// CoutStmt is `cout << a << b << endl;`.
+type CoutStmt struct {
+	Tok  Token
+	Args []Expr
+}
+
+// ExprStmt is a bare expression statement (typically a builtin call like
+// put(...)).
+type ExprStmt struct {
+	Tok Token
+	X   Expr
+}
+
+// StopStmt is `stop;` — marks a source kernel finished (our spelling of the
+// paper's "the read loop ends when the kernel stops storing").
+type StopStmt struct{ Tok Token }
+
+func (DeclStmt) stmt()     {}
+func (AssignStmt) stmt()   {}
+func (IncStmt) stmt()      {}
+func (IfStmt) stmt()       {}
+func (ForStmt) stmt()      {}
+func (WhileStmt) stmt()    {}
+func (BreakStmt) stmt()    {}
+func (ContinueStmt) stmt() {}
+func (CoutStmt) stmt()     {}
+func (ExprStmt) stmt()     {}
+func (StopStmt) stmt()     {}
+func (Block) stmt()        {}
+
+// Expr is a code-block expression.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Tok Token
+	V   int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Tok Token
+	V   float64
+}
+
+// StrLit is a string literal (only meaningful in cout).
+type StrLit struct {
+	Tok Token
+	V   string
+}
+
+// Ident references a variable: block-local, kernel local, age or index
+// variable, or the special `endl`.
+type Ident struct {
+	Tok  Token
+	Name string
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Tok  Token
+	Op   string
+	L, R Expr
+}
+
+// UnExpr is unary minus or logical not.
+type UnExpr struct {
+	Tok Token
+	Op  string
+	X   Expr
+}
+
+// CallExpr is a builtin call: put, get, extent, sqrt, abs, min, max, now,
+// expired, reset.
+type CallExpr struct {
+	Tok  Token
+	Name string
+	Args []Expr
+}
+
+func (IntLit) expr()   {}
+func (FloatLit) expr() {}
+func (StrLit) expr()   {}
+func (Ident) expr()    {}
+func (BinExpr) expr()  {}
+func (UnExpr) expr()   {}
+func (CallExpr) expr() {}

@@ -1,0 +1,77 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/runtime"
+)
+
+// Property: the lexer and parser never panic — arbitrary byte soup either
+// parses or returns a positioned error.
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("parser panicked on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random token-shaped fragments inside a code block never panic
+// the compiler either.
+func TestQuickCompilerNeverPanics(t *testing.T) {
+	fragments := []string{
+		"int i = 0;", "i += 1;", "for (;;) { break; }", "put(arr, 1, 0);",
+		"cout << 1 << endl;", "if (i < 3) { i = 4; } else { i = 5; }",
+		"while (i > 0) { i--; }", "x = y;", "int i = get(arr, 0);",
+		"stop;", "continue;", "float f = sqrt(2.0);", "z(1,2,3);",
+	}
+	f := func(picks []uint8) bool {
+		var body strings.Builder
+		for _, p := range picks {
+			body.WriteString(fragments[int(p)%len(fragments)])
+			body.WriteByte('\n')
+		}
+		src := "int32[] f age;\nk:\n local int32[] arr;\n %{\n" + body.String() + "%}\n"
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("compiler panicked on:\n%s\n%v", src, r)
+			}
+		}()
+		_, _ = Compile("fuzz", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: programs that do compile also run without panicking (errors are
+// fine) under a bounded runtime.
+func TestFragmentsRunSafely(t *testing.T) {
+	srcs := []string{
+		// division guarded by zero -> runtime error, not panic
+		"int32[] f;\nk:\n local int32[] r;\n %{ int a = 1; int b = 0; put(r, a, 0); if (b != 0) { put(r, a/b, 1); } %}\n store f(0) = r;",
+		// deep loop nesting
+		"int32[] f;\nk:\n local int32[] r;\n %{ int s = 0; for (int i=0;i<3;++i) { for (int j=0;j<3;++j) { for (int q=0;q<3;++q) { s += 1; } } } put(r, s, 0); %}\n store f(0) = r;",
+		// string concatenation in expressions
+		"int32[] f;\nk:\n local int32[] r;\n %{ cout << \"a\" + \"b\" << endl; put(r, 1, 0); %}\n store f(0) = r;",
+	}
+	for i, src := range srcs {
+		prog, err := Compile("frag", src)
+		if err != nil {
+			t.Fatalf("fragment %d: %v", i, err)
+		}
+		if _, err := runtime.Run(prog, runtime.Options{Workers: 1, MaxAge: 2}); err != nil {
+			t.Fatalf("fragment %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package lang
+
+import (
+	"strings"
+	"unicode"
+)
+
+// multi-character operators, longest first so maximal munch works.
+var multiOps = []string{
+	"<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "++", "--",
+}
+
+// Lex tokenizes kernel-language source. Comments run from // to end of line
+// and from /* to */.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			start := Token{Line: line, Col: col}
+			advance(2)
+			for {
+				if i+1 >= n {
+					return nil, errAt(start, "unterminated block comment")
+				}
+				if src[i] == '*' && src[i+1] == '/' {
+					advance(2)
+					break
+				}
+				advance(1)
+			}
+		case c == '%' && i+1 < n && src[i+1] == '{':
+			toks = append(toks, Token{Kind: TBlockStart, Text: "%{", Line: line, Col: col})
+			advance(2)
+		case c == '%' && i+1 < n && src[i+1] == '}':
+			toks = append(toks, Token{Kind: TBlockEnd, Text: "%}", Line: line, Col: col})
+			advance(2)
+		case c == '"':
+			start := Token{Line: line, Col: col}
+			advance(1)
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, errAt(start, "unterminated string literal")
+				}
+				ch := src[i]
+				if ch == '"' {
+					advance(1)
+					break
+				}
+				if ch == '\\' && i+1 < n {
+					advance(1)
+					switch src[i] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\\', '"':
+						sb.WriteByte(src[i])
+					default:
+						return nil, errAt(start, "unknown escape \\%c", src[i])
+					}
+					advance(1)
+					continue
+				}
+				sb.WriteByte(ch)
+				advance(1)
+			}
+			toks = append(toks, Token{Kind: TString, Text: sb.String(), Line: start.Line, Col: start.Col})
+		case unicode.IsDigit(rune(c)):
+			start := Token{Line: line, Col: col}
+			j := i
+			isFloat := false
+			for j < n && (unicode.IsDigit(rune(src[j])) || src[j] == '.') {
+				if src[j] == '.' {
+					if isFloat {
+						return nil, errAt(start, "malformed number")
+					}
+					isFloat = true
+				}
+				j++
+			}
+			text := src[i:j]
+			kind := TInt
+			if isFloat {
+				kind = TFloat
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: start.Line, Col: start.Col})
+			advance(j - i)
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := Token{Line: line, Col: col}
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, Token{Kind: TIdent, Text: src[i:j], Line: start.Line, Col: start.Col})
+			advance(j - i)
+		default:
+			matched := false
+			for _, op := range multiOps {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, Token{Kind: TPunct, Text: op, Line: line, Col: col})
+					advance(len(op))
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.ContainsRune("+-*/%=<>!&|(){}[];,:.", rune(c)) {
+				toks = append(toks, Token{Kind: TPunct, Text: string(c), Line: line, Col: col})
+				advance(1)
+				continue
+			}
+			return nil, errAt(Token{Line: line, Col: col}, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, Token{Kind: TEOF, Line: line, Col: col})
+	return toks, nil
+}

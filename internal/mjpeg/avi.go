@@ -1,0 +1,176 @@
+package mjpeg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// WriteAVI wraps already-encoded JPEG frames in a classic RIFF AVI container
+// with the MJPG FourCC, producing files standard players and ffmpeg accept.
+// All frames must share the given dimensions.
+func WriteAVI(w io.Writer, frames [][]byte, width, height, fps int) error {
+	if fps <= 0 {
+		fps = 25
+	}
+	if len(frames) == 0 {
+		return fmt.Errorf("mjpeg: no frames to mux")
+	}
+
+	le := binary.LittleEndian
+	u32 := func(b *bytes.Buffer, v uint32) { _ = binary.Write(b, le, v) }
+	u16 := func(b *bytes.Buffer, v uint16) { _ = binary.Write(b, le, v) }
+
+	maxFrame := 0
+	for _, f := range frames {
+		if len(f) > maxFrame {
+			maxFrame = len(f)
+		}
+	}
+
+	// avih — MainAVIHeader.
+	avih := &bytes.Buffer{}
+	u32(avih, uint32(1_000_000/fps)) // dwMicroSecPerFrame
+	u32(avih, uint32(maxFrame*fps))  // dwMaxBytesPerSec
+	u32(avih, 0)                     // dwPaddingGranularity
+	u32(avih, 0x10)                  // dwFlags: AVIF_HASINDEX
+	u32(avih, uint32(len(frames)))   // dwTotalFrames
+	u32(avih, 0)                     // dwInitialFrames
+	u32(avih, 1)                     // dwStreams
+	u32(avih, uint32(maxFrame))      // dwSuggestedBufferSize
+	u32(avih, uint32(width))
+	u32(avih, uint32(height))
+	for i := 0; i < 4; i++ {
+		u32(avih, 0) // dwReserved
+	}
+
+	// strh — AVIStreamHeader.
+	strh := &bytes.Buffer{}
+	strh.WriteString("vids")
+	strh.WriteString("MJPG")
+	u32(strh, 0)                   // dwFlags
+	u16(strh, 0)                   // wPriority
+	u16(strh, 0)                   // wLanguage
+	u32(strh, 0)                   // dwInitialFrames
+	u32(strh, 1)                   // dwScale
+	u32(strh, uint32(fps))         // dwRate
+	u32(strh, 0)                   // dwStart
+	u32(strh, uint32(len(frames))) // dwLength
+	u32(strh, uint32(maxFrame))    // dwSuggestedBufferSize
+	u32(strh, 0xFFFFFFFF)          // dwQuality
+	u32(strh, 0)                   // dwSampleSize
+	u16(strh, 0)                   // rcFrame
+	u16(strh, 0)
+	u16(strh, uint16(width))
+	u16(strh, uint16(height))
+
+	// strf — BITMAPINFOHEADER.
+	strf := &bytes.Buffer{}
+	u32(strf, 40)
+	u32(strf, uint32(width))
+	u32(strf, uint32(height))
+	u16(strf, 1)  // biPlanes
+	u16(strf, 24) // biBitCount
+	strf.WriteString("MJPG")
+	u32(strf, uint32(width*height*3)) // biSizeImage
+	u32(strf, 0)
+	u32(strf, 0)
+	u32(strf, 0)
+	u32(strf, 0)
+
+	chunk := func(fourcc string, payload []byte) []byte {
+		b := &bytes.Buffer{}
+		b.WriteString(fourcc)
+		u32(b, uint32(len(payload)))
+		b.Write(payload)
+		if len(payload)%2 == 1 {
+			b.WriteByte(0)
+		}
+		return b.Bytes()
+	}
+	list := func(kind string, payload []byte) []byte {
+		b := &bytes.Buffer{}
+		b.WriteString("LIST")
+		u32(b, uint32(len(payload)+4))
+		b.WriteString(kind)
+		b.Write(payload)
+		return b.Bytes()
+	}
+
+	strl := list("strl", append(chunk("strh", strh.Bytes()), chunk("strf", strf.Bytes())...))
+	hdrl := list("hdrl", append(chunk("avih", avih.Bytes()), strl...))
+
+	// movi chunks and the idx1 index (offsets relative to the 'movi'
+	// fourcc).
+	movi := &bytes.Buffer{}
+	idx := &bytes.Buffer{}
+	offset := uint32(4)
+	for _, f := range frames {
+		c := chunk("00dc", f)
+		movi.Write(c)
+		idx.WriteString("00dc")
+		u32(idx, 0x10) // AVIIF_KEYFRAME
+		u32(idx, offset)
+		u32(idx, uint32(len(f)))
+		offset += uint32(len(c))
+	}
+	moviList := list("movi", movi.Bytes())
+	idx1 := chunk("idx1", idx.Bytes())
+
+	body := &bytes.Buffer{}
+	body.WriteString("AVI ")
+	body.Write(hdrl)
+	body.Write(moviList)
+	body.Write(idx1)
+
+	header := &bytes.Buffer{}
+	header.WriteString("RIFF")
+	u32(header, uint32(body.Len()))
+	if _, err := w.Write(header.Bytes()); err != nil {
+		return err
+	}
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+// ReadAVIFrames extracts the MJPG frame payloads from an AVI produced by
+// WriteAVI (or any AVI with 00dc chunks). Used to verify the muxer.
+func ReadAVIFrames(data []byte) ([][]byte, error) {
+	if len(data) < 12 || string(data[0:4]) != "RIFF" || string(data[8:12]) != "AVI " {
+		return nil, fmt.Errorf("mjpeg: not a RIFF AVI file")
+	}
+	var frames [][]byte
+	le := binary.LittleEndian
+	pos := 12
+	var walk func(end int) error
+	walk = func(end int) error {
+		for pos+8 <= end {
+			fourcc := string(data[pos : pos+4])
+			size := int(le.Uint32(data[pos+4 : pos+8]))
+			pos += 8
+			if pos+size > len(data) {
+				return fmt.Errorf("mjpeg: truncated chunk %q", fourcc)
+			}
+			if fourcc == "LIST" {
+				pos += 4 // list kind
+				if err := walk(pos + size - 4); err != nil {
+					return err
+				}
+				continue
+			}
+			if fourcc == "00dc" {
+				frames = append(frames, data[pos:pos+size])
+			}
+			pos += size
+			if size%2 == 1 {
+				pos++
+			}
+		}
+		return nil
+	}
+	if err := walk(len(data)); err != nil {
+		return nil, err
+	}
+	return frames, nil
+}

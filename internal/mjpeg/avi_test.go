@@ -1,0 +1,90 @@
+package mjpeg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/video"
+)
+
+func TestAVIRoundTrip(t *testing.T) {
+	enc := &Encoder{Quality: 70}
+	src := video.NewSynthetic(32, 32, 3, 5)
+	var frames [][]byte
+	for {
+		f, err := src.Next()
+		if err != nil {
+			break
+		}
+		frames = append(frames, enc.EncodeFrame(f))
+	}
+	var buf bytes.Buffer
+	if err := WriteAVI(&buf, frames, 32, 32, 25); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if string(data[0:4]) != "RIFF" || string(data[8:12]) != "AVI " {
+		t.Fatal("missing RIFF/AVI header")
+	}
+	// RIFF size covers the rest of the file.
+	if int(binary.LittleEndian.Uint32(data[4:8])) != len(data)-8 {
+		t.Errorf("RIFF size %d, file %d", binary.LittleEndian.Uint32(data[4:8]), len(data))
+	}
+	got, err := ReadAVIFrames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("%d frames out, want %d", len(got), len(frames))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Fatalf("frame %d payload changed", i)
+		}
+		if _, err := DecodeFrameJPEG(got[i]); err != nil {
+			t.Fatalf("frame %d no longer decodes: %v", i, err)
+		}
+	}
+	// Structural spot checks: stream fourcc and index present.
+	if !bytes.Contains(data, []byte("MJPG")) || !bytes.Contains(data, []byte("idx1")) {
+		t.Error("missing MJPG handler or idx1 index")
+	}
+}
+
+func TestAVIOddSizedFramesArePadded(t *testing.T) {
+	frames := [][]byte{{0xff, 0xd8, 0xff}, {1, 2, 3, 4}}
+	var buf bytes.Buffer
+	if err := WriteAVI(&buf, frames, 8, 8, 30); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAVIFrames(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !bytes.Equal(got[0], frames[0]) || !bytes.Equal(got[1], frames[1]) {
+		t.Fatalf("odd-size round trip: %v", got)
+	}
+}
+
+func TestAVIErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAVI(&buf, nil, 8, 8, 25); err == nil {
+		t.Error("no frames should error")
+	}
+	if _, err := ReadAVIFrames([]byte("not an avi")); err == nil {
+		t.Error("garbage should not parse")
+	}
+	// Truncated chunk.
+	var ok bytes.Buffer
+	if err := WriteAVI(&ok, [][]byte{{1, 2, 3}}, 8, 8, 25); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAVIFrames(ok.Bytes()[:ok.Len()-6]); err == nil {
+		t.Error("truncated AVI should error")
+	}
+	// Zero fps falls back to a default instead of dividing by zero.
+	if err := WriteAVI(&bytes.Buffer{}, [][]byte{{1}}, 8, 8, 0); err != nil {
+		t.Errorf("zero fps: %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package mjpeg
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// BitWriter writes an MSB-first bit stream with JPEG byte stuffing: every
+// 0xFF data byte is followed by a 0x00 so entropy-coded data can never be
+// mistaken for a marker.
+type BitWriter struct {
+	buf  bytes.Buffer
+	acc  uint32
+	nbit uint
+}
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// between 0 and 24.
+func (w *BitWriter) WriteBits(v uint32, n uint) {
+	if n > 24 {
+		panic(fmt.Sprintf("mjpeg: WriteBits of %d bits", n))
+	}
+	w.acc = w.acc<<n | (v & (1<<n - 1))
+	w.nbit += n
+	for w.nbit >= 8 {
+		w.nbit -= 8
+		b := byte(w.acc >> w.nbit)
+		w.buf.WriteByte(b)
+		if b == 0xff {
+			w.buf.WriteByte(0x00)
+		}
+	}
+}
+
+// Flush pads the final partial byte with 1 bits (the JPEG convention) and
+// returns the accumulated stream.
+func (w *BitWriter) Flush() []byte {
+	if w.nbit > 0 {
+		pad := 8 - w.nbit
+		w.WriteBits(1<<pad-1, pad)
+	}
+	return w.buf.Bytes()
+}
+
+// Len returns the number of complete bytes buffered so far.
+func (w *BitWriter) Len() int { return w.buf.Len() }
+
+// BitReader reads an MSB-first bit stream with JPEG byte unstuffing. Hitting
+// a marker (0xFF followed by non-zero) or the end of data yields ErrEndOfData.
+type BitReader struct {
+	data []byte
+	pos  int
+	acc  uint32
+	nbit uint
+}
+
+// ErrEndOfData reports that the entropy-coded segment ended (marker or EOF).
+var ErrEndOfData = fmt.Errorf("mjpeg: end of entropy-coded data")
+
+// NewBitReader reads bits from data.
+func NewBitReader(data []byte) *BitReader { return &BitReader{data: data} }
+
+func (r *BitReader) fill() error {
+	for r.nbit < 24 {
+		if r.pos >= len(r.data) {
+			if r.nbit == 0 {
+				return ErrEndOfData
+			}
+			return nil
+		}
+		b := r.data[r.pos]
+		if b == 0xff {
+			if r.pos+1 >= len(r.data) || r.data[r.pos+1] != 0x00 {
+				// Marker: stop before it.
+				if r.nbit == 0 {
+					return ErrEndOfData
+				}
+				return nil
+			}
+			r.pos += 2 // consume the stuffed 0x00
+		} else {
+			r.pos++
+		}
+		r.acc = r.acc<<8 | uint32(b)
+		r.nbit += 8
+	}
+	return nil
+}
+
+// ReadBit reads a single bit.
+func (r *BitReader) ReadBit() (uint32, error) {
+	return r.ReadBits(1)
+}
+
+// ReadBits reads n bits MSB-first (n between 0 and 16).
+func (r *BitReader) ReadBits(n uint) (uint32, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	if n > 16 {
+		panic(fmt.Sprintf("mjpeg: ReadBits of %d bits", n))
+	}
+	if err := r.fill(); err != nil {
+		return 0, err
+	}
+	if r.nbit < n {
+		return 0, ErrEndOfData
+	}
+	r.nbit -= n
+	v := r.acc >> r.nbit & (1<<n - 1)
+	return v, nil
+}
+
+// Offset returns the byte offset just past the last byte pulled into the bit
+// accumulator; after entropy decoding it points at (or just before) the next
+// marker.
+func (r *BitReader) Offset() int { return r.pos }

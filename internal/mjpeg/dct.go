@@ -1,0 +1,169 @@
+// Package mjpeg implements a baseline JPEG / Motion JPEG codec from first
+// principles: forward and inverse DCT (a naive transform matching the
+// paper's, plus the AAN fast DCT the paper cites as an optimization),
+// quantization, zigzag scan, run-length and Huffman entropy coding, JFIF
+// frame assembly, and a decoder used to verify the encoder end to end.
+//
+// The package exposes the block-level operations separately so the P2G
+// workload (package workloads) can run exactly the same code inside yDCT /
+// uDCT / vDCT / VLC kernels that the standalone baseline encoder runs in a
+// single thread.
+package mjpeg
+
+import "math"
+
+// BlockSize is the macroblock edge: JPEG operates on 8x8 blocks.
+const BlockSize = 8
+
+// Block is one 8x8 macroblock in row-major order: pixel samples before the
+// transform, frequency coefficients after.
+type Block [64]int32
+
+// cosTable[x][u] = cos((2x+1) u π / 16), shared by the naive DCT and IDCT.
+var cosTable [8][8]float64
+
+func init() {
+	for x := 0; x < 8; x++ {
+		for u := 0; u < 8; u++ {
+			cosTable[x][u] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+		}
+	}
+}
+
+func alpha(u int) float64 {
+	if u == 0 {
+		return math.Sqrt2 / 2
+	}
+	return 1
+}
+
+// DCTNaive computes the forward 8x8 DCT-II by the textbook quadruple loop —
+// the same "naive DCT calculation" the paper's encoder uses (§VIII-A). Input
+// samples are level-shifted by -128. The result is written to out.
+func DCTNaive(in *Block, out *[64]float64) {
+	var shifted [64]float64
+	for i, v := range in {
+		shifted[i] = float64(v) - 128
+	}
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var sum float64
+			for x := 0; x < 8; x++ {
+				for y := 0; y < 8; y++ {
+					sum += shifted[x*8+y] * cosTable[x][u] * cosTable[y][v]
+				}
+			}
+			out[u*8+v] = 0.25 * alpha(u) * alpha(v) * sum
+		}
+	}
+}
+
+// aanFinalScale[u][v] undoes the scaling the AAN butterfly network leaves on
+// coefficient (u,v), so DCTFast produces the same values as DCTNaive.
+var aanFinalScale [8][8]float64
+
+func init() {
+	// aanFactor[k] = cos(k*π/16) * sqrt(2) for k>0, 1 for k=0.
+	var f [8]float64
+	f[0] = 1
+	for k := 1; k < 8; k++ {
+		f[k] = math.Cos(float64(k)*math.Pi/16) * math.Sqrt2
+	}
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			aanFinalScale[u][v] = 1 / (f[u] * f[v] * 8)
+		}
+	}
+}
+
+// DCTFast computes the forward 8x8 DCT with the Arai–Agui–Nakajima (AAN)
+// scheme the paper references as FastDCT [2]: a row/column pass of 1-D AAN
+// butterflies followed by a per-coefficient rescale. It produces the same
+// output as DCTNaive up to floating-point rounding.
+func DCTFast(in *Block, out *[64]float64) {
+	var d [64]float64
+	for i, v := range in {
+		d[i] = float64(v) - 128
+	}
+	for r := 0; r < 8; r++ {
+		aan1D(d[r*8:r*8+8:r*8+8], 1)
+	}
+	for c := 0; c < 8; c++ {
+		aan1D(d[c:c+57:64], 8)
+	}
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			out[u*8+v] = d[u*8+v] * aanFinalScale[u][v]
+		}
+	}
+}
+
+// aan1D applies the 8-point AAN forward butterfly in place over d with the
+// given stride (1 for rows, 8 for columns).
+func aan1D(d []float64, stride int) {
+	at := func(i int) float64 { return d[i*stride] }
+	set := func(i int, v float64) { d[i*stride] = v }
+
+	tmp0 := at(0) + at(7)
+	tmp7 := at(0) - at(7)
+	tmp1 := at(1) + at(6)
+	tmp6 := at(1) - at(6)
+	tmp2 := at(2) + at(5)
+	tmp5 := at(2) - at(5)
+	tmp3 := at(3) + at(4)
+	tmp4 := at(3) - at(4)
+
+	// Even part.
+	tmp10 := tmp0 + tmp3
+	tmp13 := tmp0 - tmp3
+	tmp11 := tmp1 + tmp2
+	tmp12 := tmp1 - tmp2
+	set(0, tmp10+tmp11)
+	set(4, tmp10-tmp11)
+	z1 := (tmp12 + tmp13) * 0.707106781
+	set(2, tmp13+z1)
+	set(6, tmp13-z1)
+
+	// Odd part.
+	tmp10 = tmp4 + tmp5
+	tmp11 = tmp5 + tmp6
+	tmp12 = tmp6 + tmp7
+	z5 := (tmp10 - tmp12) * 0.382683433
+	z2 := 0.541196100*tmp10 + z5
+	z4 := 1.306562965*tmp12 + z5
+	z3 := tmp11 * 0.707106781
+	z11 := tmp7 + z3
+	z13 := tmp7 - z3
+	set(5, z13+z2)
+	set(3, z13-z2)
+	set(1, z11+z4)
+	set(7, z11-z4)
+}
+
+// IDCT computes the inverse 8x8 DCT-II (naive form) and re-applies the +128
+// level shift, clamping to [0,255]. Used by the decoder to verify round
+// trips.
+func IDCT(coeffs *Block, out *Block) {
+	var f [64]float64
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			var sum float64
+			for u := 0; u < 8; u++ {
+				for v := 0; v < 8; v++ {
+					sum += alpha(u) * alpha(v) * float64(coeffs[u*8+v]) * cosTable[x][u] * cosTable[y][v]
+				}
+			}
+			f[x*8+y] = 0.25 * sum
+		}
+	}
+	for i, v := range f {
+		p := int32(math.Round(v + 128))
+		if p < 0 {
+			p = 0
+		}
+		if p > 255 {
+			p = 255
+		}
+		out[i] = p
+	}
+}

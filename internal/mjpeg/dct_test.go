@@ -1,0 +1,212 @@
+package mjpeg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBlock(rng *rand.Rand) *Block {
+	var b Block
+	for i := range b {
+		b[i] = int32(rng.Intn(256))
+	}
+	return &b
+}
+
+func TestDCTFlatBlock(t *testing.T) {
+	var b Block
+	for i := range b {
+		b[i] = 128
+	}
+	var out [64]float64
+	DCTNaive(&b, &out)
+	for i, v := range out {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("flat 128 block: coeff %d = %v, want 0", i, v)
+		}
+	}
+	// A constant block at 255 has only a DC term: 8*(255-128) = 1016.
+	for i := range b {
+		b[i] = 255
+	}
+	DCTNaive(&b, &out)
+	if math.Abs(out[0]-8*127) > 1e-9 {
+		t.Errorf("DC of constant 255 block = %v, want %v", out[0], 8.0*127)
+	}
+	for i := 1; i < 64; i++ {
+		if math.Abs(out[i]) > 1e-9 {
+			t.Errorf("AC coeff %d of constant block = %v", i, out[i])
+		}
+	}
+}
+
+// TestDCTParseval checks energy preservation: the DCT is orthonormal, so the
+// sum of squares is preserved (with the level shift applied).
+func TestDCTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		b := randBlock(rng)
+		var out [64]float64
+		DCTNaive(b, &out)
+		var es, ec float64
+		for i := range b {
+			d := float64(b[i]) - 128
+			es += d * d
+			ec += out[i] * out[i]
+		}
+		if math.Abs(es-ec) > 1e-6*(1+es) {
+			t.Fatalf("Parseval violated: spatial %v vs coeff %v", es, ec)
+		}
+	}
+}
+
+// TestFastDCTMatchesNaive validates the AAN butterfly network against the
+// textbook definition on random blocks.
+func TestFastDCTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		b := randBlock(rng)
+		var naive, fast [64]float64
+		DCTNaive(b, &naive)
+		DCTFast(b, &fast)
+		for i := range naive {
+			if math.Abs(naive[i]-fast[i]) > 1e-6 {
+				t.Fatalf("trial %d coeff %d: naive %v fast %v", trial, i, naive[i], fast[i])
+			}
+		}
+	}
+}
+
+// TestDCTRoundTrip checks DCT → IDCT identity on random pixel blocks (exact
+// integers after rounding, since no quantization is applied).
+func TestDCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		b := randBlock(rng)
+		var f [64]float64
+		DCTNaive(b, &f)
+		var coeff, back Block
+		for i, v := range f {
+			coeff[i] = int32(math.Round(v * 16)) // keep 4 fractional bits
+		}
+		// IDCT expects unscaled coefficients; rescale by dequantizing with
+		// a table of all 1s after dividing by 16 — easier: run IDCT on
+		// rounded coefficients and allow ±1 error.
+		for i, v := range f {
+			coeff[i] = int32(math.Round(v))
+		}
+		IDCT(&coeff, &back)
+		for i := range b {
+			if d := int32(math.Abs(float64(b[i] - back[i]))); d > 4 {
+				t.Fatalf("trial %d pixel %d: %d -> %d", trial, i, b[i], back[i])
+			}
+		}
+	}
+}
+
+// Property: quantize(dequantize(q)) is the identity for in-range values.
+func TestQuickQuantRoundTrip(t *testing.T) {
+	qt := LumaQuant(75)
+	f := func(raw [64]int16) bool {
+		var q, dq, q2 Block
+		var fl [64]float64
+		for i, v := range raw {
+			q[i] = int32(v % 128)
+		}
+		Dequantize(&q, qt, &dq)
+		for i, v := range dq {
+			fl[i] = float64(v)
+		}
+		Quantize(&fl, qt, &q2)
+		return q == q2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantQualityMonotone(t *testing.T) {
+	q10 := LumaQuant(10)
+	q50 := LumaQuant(50)
+	q95 := LumaQuant(95)
+	for i := 0; i < 64; i++ {
+		if q10[i] < q50[i] || q50[i] < q95[i] {
+			t.Fatalf("coeff %d: quality scaling not monotone (%d, %d, %d)", i, q10[i], q50[i], q95[i])
+		}
+	}
+	// Quality 50 reproduces the base table.
+	for i := range baseLumaQuant {
+		if q50[i] != baseLumaQuant[i] {
+			t.Fatalf("quality 50 differs from base at %d", i)
+		}
+	}
+	// Extremes are clamped.
+	if ScaleQuant(&baseLumaQuant, -5)[0] != ScaleQuant(&baseLumaQuant, 1)[0] {
+		t.Error("quality below 1 should clamp")
+	}
+	if ScaleQuant(&baseLumaQuant, 1000)[0] != ScaleQuant(&baseLumaQuant, 100)[0] {
+		t.Error("quality above 100 should clamp")
+	}
+	for _, v := range ScaleQuant(&baseLumaQuant, 100) {
+		if v < 1 {
+			t.Error("table values must stay >= 1")
+		}
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := [64]bool{}
+	for _, z := range Zigzag {
+		if z < 0 || z > 63 || seen[z] {
+			t.Fatalf("zigzag is not a permutation")
+		}
+		seen[z] = true
+	}
+	// Spot-check the canonical start and end of the pattern.
+	want := []int{0, 1, 8, 16, 9, 2, 3, 10}
+	for i, w := range want {
+		if Zigzag[i] != w {
+			t.Fatalf("zigzag[%d] = %d, want %d", i, Zigzag[i], w)
+		}
+	}
+	if Zigzag[63] != 63 {
+		t.Fatal("zigzag must end at 63")
+	}
+}
+
+func TestExtractAssembleRoundTrip(t *testing.T) {
+	for _, dims := range [][2]int{{16, 16}, {24, 8}, {20, 12}, {9, 9}} {
+		w, h := dims[0], dims[1]
+		plane := make([]byte, w*h)
+		for i := range plane {
+			plane[i] = byte(i * 7)
+		}
+		blocks := ExtractBlocks(plane, w, h)
+		if len(blocks) != ((w+7)/8)*((h+7)/8) {
+			t.Fatalf("%dx%d: %d blocks", w, h, len(blocks))
+		}
+		back := AssemblePlane(blocks, w, h)
+		for i := range plane {
+			if plane[i] != back[i] {
+				t.Fatalf("%dx%d: pixel %d changed", w, h, i)
+			}
+		}
+	}
+}
+
+func TestExtractBlocksPadding(t *testing.T) {
+	// 9x9 plane: the padded region replicates edge pixels.
+	w, h := 9, 9
+	plane := make([]byte, w*h)
+	for i := range plane {
+		plane[i] = byte(i)
+	}
+	blocks := ExtractBlocks(plane, w, h)
+	// Block (0,1) covers x in [8,16); x>=9 replicates column 8.
+	b := blocks[1]
+	if b[0] != int32(plane[8]) || b[1] != int32(plane[8]) || b[7] != int32(plane[8]) {
+		t.Error("horizontal padding should replicate last column")
+	}
+}

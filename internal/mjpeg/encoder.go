@@ -1,0 +1,117 @@
+package mjpeg
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/video"
+)
+
+// DefaultQuality is the IJG-style quality factor used when an Encoder does
+// not specify one.
+const DefaultQuality = 75
+
+// Encoder is a baseline MJPEG encoder. The zero value encodes at
+// DefaultQuality with the naive DCT, matching the paper's configuration.
+type Encoder struct {
+	// Quality is the IJG quality factor in [1,100]; 0 selects
+	// DefaultQuality.
+	Quality int
+	// FastDCT selects the AAN transform instead of the naive one.
+	FastDCT bool
+}
+
+func (e *Encoder) quality() int {
+	if e.Quality == 0 {
+		return DefaultQuality
+	}
+	return e.Quality
+}
+
+// Tables returns the luma and chroma quantization tables for the encoder's
+// quality setting.
+func (e *Encoder) Tables() (luma, chroma *QuantTable) {
+	q := e.quality()
+	return LumaQuant(q), ChromaQuant(q)
+}
+
+// SplitYUV splits a frame into per-component macroblock slices — the work of
+// the paper's read/splitYUV kernel. Component order is Y, U, V.
+func SplitYUV(f *video.Frame) [3][]Block {
+	return [3][]Block{
+		ExtractBlocks(f.Y, f.W, f.H),
+		ExtractBlocks(f.U, f.W/2, f.H/2),
+		ExtractBlocks(f.V, f.W/2, f.H/2),
+	}
+}
+
+// EncodeFrame compresses one frame to a standalone JFIF image: split,
+// per-block DCT+quantization, entropy coding — the whole pipeline the P2G
+// version spreads across kernels.
+func (e *Encoder) EncodeFrame(f *video.Frame) []byte {
+	qY, qC := e.Tables()
+	in := SplitYUV(f)
+	var coeffs [3][]Block
+	for ci := range in {
+		qt := qY
+		if ci > 0 {
+			qt = qC
+		}
+		out := make([]Block, len(in[ci]))
+		for i := range in[ci] {
+			DCTQuantBlock(&in[ci][i], qt, e.FastDCT, &out[i])
+		}
+		coeffs[ci] = out
+	}
+	return EncodeFrameJPEG(&coeffs, f.W, f.H, qY, qC)
+}
+
+// EncodeStream runs the standalone single-threaded MJPEG encoder over a
+// video source, writing concatenated JFIF images to w. It returns the number
+// of frames encoded. This is the baseline the paper compares P2G against
+// (§VIII-A: 19–30 s for 50 CIF frames).
+func (e *Encoder) EncodeStream(src video.Source, w io.Writer) (int, error) {
+	frames := 0
+	for {
+		f, err := src.Next()
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return frames, fmt.Errorf("mjpeg: reading frame %d: %w", frames, err)
+		}
+		if _, err := w.Write(e.EncodeFrame(f)); err != nil {
+			return frames, fmt.Errorf("mjpeg: writing frame %d: %w", frames, err)
+		}
+		frames++
+	}
+}
+
+// Reconstruct inverts the lossy pipeline of a decoded image — dequantize,
+// inverse DCT, reassemble planes — returning the frame a player would
+// display. Used to measure encoder fidelity (PSNR against the source).
+func (d *Decoded) Reconstruct() *video.Frame {
+	f := video.NewFrame(d.W, d.H)
+	planes := [3]struct {
+		data []byte
+		w, h int
+	}{
+		{f.Y, d.W, d.H},
+		{f.U, d.W / 2, d.H / 2},
+		{f.V, d.W / 2, d.H / 2},
+	}
+	for ci := range d.Coeffs {
+		qt := &d.QTabs[0]
+		if ci > 0 {
+			qt = &d.QTabs[1]
+		}
+		spatial := make([]Block, len(d.Coeffs[ci]))
+		for i := range d.Coeffs[ci] {
+			var dq Block
+			Dequantize(&d.Coeffs[ci][i], qt, &dq)
+			IDCT(&dq, &spatial[i])
+		}
+		copy(planes[ci].data, AssemblePlane(spatial, planes[ci].w, planes[ci].h))
+	}
+	return f
+}

@@ -1,0 +1,261 @@
+package mjpeg
+
+import "fmt"
+
+// HuffSpec is a JPEG Huffman table specification in DHT form: Bits[i] counts
+// codes of length i+1, Vals lists the symbols in canonical order.
+type HuffSpec struct {
+	Bits [16]byte
+	Vals []byte
+}
+
+// The standard (Annex K) Huffman table specifications.
+var (
+	SpecDCLuma = HuffSpec{
+		Bits: [16]byte{0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0},
+		Vals: []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+	}
+	SpecDCChroma = HuffSpec{
+		Bits: [16]byte{0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0},
+		Vals: []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+	}
+	SpecACLuma = HuffSpec{
+		Bits: [16]byte{0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7d},
+		Vals: []byte{
+			0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12,
+			0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61, 0x07,
+			0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xa1, 0x08,
+			0x23, 0x42, 0xb1, 0xc1, 0x15, 0x52, 0xd1, 0xf0,
+			0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0a, 0x16,
+			0x17, 0x18, 0x19, 0x1a, 0x25, 0x26, 0x27, 0x28,
+			0x29, 0x2a, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39,
+			0x3a, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+			0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+			0x5a, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69,
+			0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79,
+			0x7a, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+			0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+			0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7,
+			0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6,
+			0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5,
+			0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2, 0xd3, 0xd4,
+			0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe1, 0xe2,
+			0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9, 0xea,
+			0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8,
+			0xf9, 0xfa,
+		},
+	}
+	SpecACChroma = HuffSpec{
+		Bits: [16]byte{0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77},
+		Vals: []byte{
+			0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21,
+			0x31, 0x06, 0x12, 0x41, 0x51, 0x07, 0x61, 0x71,
+			0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91,
+			0xa1, 0xb1, 0xc1, 0x09, 0x23, 0x33, 0x52, 0xf0,
+			0x15, 0x62, 0x72, 0xd1, 0x0a, 0x16, 0x24, 0x34,
+			0xe1, 0x25, 0xf1, 0x17, 0x18, 0x19, 0x1a, 0x26,
+			0x27, 0x28, 0x29, 0x2a, 0x35, 0x36, 0x37, 0x38,
+			0x39, 0x3a, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48,
+			0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58,
+			0x59, 0x5a, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68,
+			0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78,
+			0x79, 0x7a, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87,
+			0x88, 0x89, 0x8a, 0x92, 0x93, 0x94, 0x95, 0x96,
+			0x97, 0x98, 0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5,
+			0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4,
+			0xb5, 0xb6, 0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3,
+			0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2,
+			0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda,
+			0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9,
+			0xea, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8,
+			0xf9, 0xfa,
+		},
+	}
+)
+
+// HuffEncoder maps symbols to canonical Huffman codes.
+type HuffEncoder struct {
+	code [256]uint32
+	size [256]uint8
+}
+
+// NewHuffEncoder builds the canonical code assignment from a specification.
+func NewHuffEncoder(spec *HuffSpec) *HuffEncoder {
+	e := &HuffEncoder{}
+	code := uint32(0)
+	k := 0
+	for l := 1; l <= 16; l++ {
+		for i := 0; i < int(spec.Bits[l-1]); i++ {
+			sym := spec.Vals[k]
+			e.code[sym] = code
+			e.size[sym] = uint8(l)
+			code++
+			k++
+		}
+		code <<= 1
+	}
+	return e
+}
+
+// Emit writes the code for sym. Symbols absent from the table panic — they
+// indicate a corrupted encoder state, never valid data.
+func (e *HuffEncoder) Emit(w *BitWriter, sym byte) {
+	if e.size[sym] == 0 {
+		panic(fmt.Sprintf("mjpeg: symbol %#x has no Huffman code", sym))
+	}
+	w.WriteBits(e.code[sym], uint(e.size[sym]))
+}
+
+// HuffDecoder decodes canonical Huffman codes by length-indexed range
+// lookup (the standard JPEG decoding procedure).
+type HuffDecoder struct {
+	minCode [17]int32
+	maxCode [17]int32 // -1 when no codes of that length
+	valPtr  [17]int
+	vals    []byte
+}
+
+// NewHuffDecoder builds the decoding tables from a specification.
+func NewHuffDecoder(spec *HuffSpec) *HuffDecoder {
+	d := &HuffDecoder{vals: spec.Vals}
+	code := int32(0)
+	k := 0
+	for l := 1; l <= 16; l++ {
+		if spec.Bits[l-1] == 0 {
+			d.maxCode[l] = -1
+			code <<= 1
+			continue
+		}
+		d.valPtr[l] = k
+		d.minCode[l] = code
+		code += int32(spec.Bits[l-1])
+		k += int(spec.Bits[l-1])
+		d.maxCode[l] = code - 1
+		code <<= 1
+	}
+	return d
+}
+
+// Decode reads one symbol from the bit stream.
+func (d *HuffDecoder) Decode(r *BitReader) (byte, error) {
+	code := int32(0)
+	for l := 1; l <= 16; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | int32(b)
+		if d.maxCode[l] >= 0 && code <= d.maxCode[l] {
+			return d.vals[d.valPtr[l]+int(code-d.minCode[l])], nil
+		}
+	}
+	return 0, fmt.Errorf("mjpeg: invalid Huffman code")
+}
+
+// bitLen returns the JPEG "size" category of v (number of bits needed for
+// |v|).
+func bitLen(v int32) uint {
+	if v < 0 {
+		v = -v
+	}
+	n := uint(0)
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// EncodeBlock entropy-codes one quantized macroblock: DC difference against
+// pred, then run-length/Huffman coded AC coefficients in zigzag order. It
+// returns the block's DC value for use as the next prediction.
+func EncodeBlock(w *BitWriter, blk *Block, pred int32, dc, ac *HuffEncoder) int32 {
+	diff := blk[0] - pred
+	size := bitLen(diff)
+	dc.Emit(w, byte(size))
+	if size > 0 {
+		v := diff
+		if v < 0 {
+			v += 1<<size - 1
+		}
+		w.WriteBits(uint32(v), size)
+	}
+	run := 0
+	for k := 1; k < 64; k++ {
+		c := blk[Zigzag[k]]
+		if c == 0 {
+			run++
+			continue
+		}
+		for run >= 16 {
+			ac.Emit(w, 0xf0) // ZRL
+			run -= 16
+		}
+		s := bitLen(c)
+		ac.Emit(w, byte(run<<4|int(s)))
+		v := c
+		if v < 0 {
+			v += 1<<s - 1
+		}
+		w.WriteBits(uint32(v), s)
+		run = 0
+	}
+	if run > 0 {
+		ac.Emit(w, 0x00) // EOB
+	}
+	return blk[0]
+}
+
+// extend undoes the JPEG magnitude encoding.
+func extend(v uint32, size uint) int32 {
+	if size == 0 {
+		return 0
+	}
+	x := int32(v)
+	if x < 1<<(size-1) {
+		x -= 1<<size - 1
+	}
+	return x
+}
+
+// DecodeBlock reverses EncodeBlock, returning the block's DC value for the
+// next prediction.
+func DecodeBlock(r *BitReader, blk *Block, pred int32, dc, ac *HuffDecoder) (int32, error) {
+	*blk = Block{}
+	sym, err := dc.Decode(r)
+	if err != nil {
+		return 0, err
+	}
+	size := uint(sym)
+	bits, err := r.ReadBits(size)
+	if err != nil {
+		return 0, err
+	}
+	blk[0] = pred + extend(bits, size)
+	for k := 1; k < 64; {
+		sym, err := ac.Decode(r)
+		if err != nil {
+			return 0, err
+		}
+		if sym == 0x00 { // EOB
+			break
+		}
+		if sym == 0xf0 { // ZRL
+			k += 16
+			continue
+		}
+		run := int(sym >> 4)
+		s := uint(sym & 0x0f)
+		k += run
+		if k >= 64 {
+			return 0, fmt.Errorf("mjpeg: AC run overflows block")
+		}
+		bits, err := r.ReadBits(s)
+		if err != nil {
+			return 0, err
+		}
+		blk[Zigzag[k]] = extend(bits, s)
+		k++
+	}
+	return blk[0], nil
+}

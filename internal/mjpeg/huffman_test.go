@@ -1,0 +1,241 @@
+package mjpeg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHuffSpecCounts(t *testing.T) {
+	for name, spec := range map[string]*HuffSpec{
+		"dc-luma": &SpecDCLuma, "dc-chroma": &SpecDCChroma,
+		"ac-luma": &SpecACLuma, "ac-chroma": &SpecACChroma,
+	} {
+		total := 0
+		for _, b := range spec.Bits {
+			total += int(b)
+		}
+		if total != len(spec.Vals) {
+			t.Errorf("%s: bits sum %d != %d values", name, total, len(spec.Vals))
+		}
+	}
+	if len(SpecACLuma.Vals) != 162 || len(SpecACChroma.Vals) != 162 {
+		t.Error("AC tables must have 162 symbols")
+	}
+	if len(SpecDCLuma.Vals) != 12 {
+		t.Error("DC tables must have 12 symbols")
+	}
+}
+
+func TestHuffCodesArePrefixFree(t *testing.T) {
+	for name, spec := range map[string]*HuffSpec{
+		"ac-luma": &SpecACLuma, "ac-chroma": &SpecACChroma, "dc-luma": &SpecDCLuma,
+	} {
+		e := NewHuffEncoder(spec)
+		type code struct {
+			bits uint32
+			size uint8
+		}
+		var codes []code
+		for _, sym := range spec.Vals {
+			codes = append(codes, code{e.code[sym], e.size[sym]})
+		}
+		for i := range codes {
+			for j := range codes {
+				if i == j {
+					continue
+				}
+				a, b := codes[i], codes[j]
+				if a.size > b.size {
+					a, b = b, a
+				}
+				if b.bits>>(b.size-a.size) == a.bits && a.size == codes[i].size && b.size == codes[j].size {
+					// Only a violation when the shorter is a strict prefix.
+					if a.size != b.size {
+						t.Fatalf("%s: code %d is a prefix of code %d", name, i, j)
+					}
+					if a.bits == b.bits {
+						t.Fatalf("%s: duplicate code", name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHuffEncodeDecodeSymbols(t *testing.T) {
+	for _, spec := range []*HuffSpec{&SpecDCLuma, &SpecDCChroma, &SpecACLuma, &SpecACChroma} {
+		enc := NewHuffEncoder(spec)
+		dec := NewHuffDecoder(spec)
+		w := &BitWriter{}
+		for _, sym := range spec.Vals {
+			enc.Emit(w, sym)
+		}
+		r := NewBitReader(w.Flush())
+		for i, want := range spec.Vals {
+			got, err := dec.Decode(r)
+			if err != nil {
+				t.Fatalf("symbol %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("symbol %d: decoded %#x, want %#x", i, got, want)
+			}
+		}
+	}
+}
+
+func TestHuffEmitUnknownSymbolPanics(t *testing.T) {
+	enc := NewHuffEncoder(&SpecDCLuma) // only symbols 0..11
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for uncoded symbol")
+		}
+	}()
+	enc.Emit(&BitWriter{}, 0x99)
+}
+
+func TestBitWriterStuffing(t *testing.T) {
+	w := &BitWriter{}
+	w.WriteBits(0xff, 8)
+	w.WriteBits(0xab, 8)
+	out := w.Flush()
+	if len(out) != 3 || out[0] != 0xff || out[1] != 0x00 || out[2] != 0xab {
+		t.Fatalf("stuffing output % x", out)
+	}
+	r := NewBitReader(out)
+	v, err := r.ReadBits(16)
+	if err != nil || v != 0xffab {
+		t.Fatalf("unstuffed read = %#x, %v", v, err)
+	}
+}
+
+func TestBitWriterFlushPadsWithOnes(t *testing.T) {
+	w := &BitWriter{}
+	w.WriteBits(0, 1) // single 0 bit
+	out := w.Flush()
+	if len(out) != 1 || out[0] != 0x7f {
+		t.Fatalf("padded byte = %#x, want 0x7f", out[0])
+	}
+}
+
+func TestBitReaderStopsAtMarker(t *testing.T) {
+	r := NewBitReader([]byte{0xab, 0xff, 0xd9})
+	if v, err := r.ReadBits(8); err != nil || v != 0xab {
+		t.Fatalf("first byte: %#x %v", v, err)
+	}
+	if _, err := r.ReadBits(8); err != ErrEndOfData {
+		t.Fatalf("expected ErrEndOfData at marker, got %v", err)
+	}
+}
+
+// Property: random bit sequences round-trip through writer and reader.
+func TestQuickBitIORoundTrip(t *testing.T) {
+	f := func(chunks []uint16, widths []uint8) bool {
+		w := &BitWriter{}
+		type item struct {
+			v uint32
+			n uint
+		}
+		var items []item
+		for i, c := range chunks {
+			n := uint(1)
+			if i < len(widths) {
+				n = uint(widths[i]%16) + 1
+			}
+			v := uint32(c) & (1<<n - 1)
+			items = append(items, item{v, n})
+			w.WriteBits(v, n)
+		}
+		r := NewBitReader(w.Flush())
+		for _, it := range items {
+			v, err := r.ReadBits(it.n)
+			if err != nil || v != it.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: blocks round-trip through EncodeBlock/DecodeBlock with chained DC
+// prediction.
+func TestQuickBlockEntropyRoundTrip(t *testing.T) {
+	dcE, acE := NewHuffEncoder(&SpecDCLuma), NewHuffEncoder(&SpecACLuma)
+	dcD, acD := NewHuffDecoder(&SpecDCLuma), NewHuffDecoder(&SpecACLuma)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nblocks := 1 + rng.Intn(5)
+		blocks := make([]Block, nblocks)
+		for b := range blocks {
+			// Sparse blocks, as quantized DCT output is.
+			for k := 0; k < 64; k++ {
+				switch rng.Intn(8) {
+				case 0:
+					blocks[b][k] = int32(rng.Intn(2047)) - 1023
+				case 1:
+					blocks[b][k] = int32(rng.Intn(15)) - 7
+				}
+			}
+		}
+		w := &BitWriter{}
+		pred := int32(0)
+		for b := range blocks {
+			pred = EncodeBlock(w, &blocks[b], pred, dcE, acE)
+		}
+		r := NewBitReader(w.Flush())
+		pred = 0
+		for b := range blocks {
+			var got Block
+			var err error
+			pred, err = DecodeBlock(r, &got, pred, dcD, acD)
+			if err != nil {
+				t.Fatalf("trial %d block %d: %v", trial, b, err)
+			}
+			if got != blocks[b] {
+				t.Fatalf("trial %d block %d: round-trip mismatch\n got %v\nwant %v", trial, b, got, blocks[b])
+			}
+		}
+	}
+}
+
+func TestEncodeBlockZRLAndEOB(t *testing.T) {
+	// A block with one coefficient far into the zigzag exercises ZRL runs;
+	// trailing zeros exercise EOB.
+	var b Block
+	b[0] = 5
+	b[Zigzag[40]] = -3
+	dcE, acE := NewHuffEncoder(&SpecDCLuma), NewHuffEncoder(&SpecACLuma)
+	dcD, acD := NewHuffDecoder(&SpecDCLuma), NewHuffDecoder(&SpecACLuma)
+	w := &BitWriter{}
+	EncodeBlock(w, &b, 0, dcE, acE)
+	var got Block
+	if _, err := DecodeBlock(NewBitReader(w.Flush()), &got, 0, dcD, acD); err != nil {
+		t.Fatal(err)
+	}
+	if got != b {
+		t.Fatalf("ZRL/EOB round trip: got %v want %v", got, b)
+	}
+	// A block whose last zigzag coefficient is non-zero needs no EOB.
+	var c Block
+	c[63] = 2
+	w = &BitWriter{}
+	EncodeBlock(w, &c, 0, dcE, acE)
+	if _, err := DecodeBlock(NewBitReader(w.Flush()), &got, 0, dcD, acD); err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatal("no-EOB round trip failed")
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	cases := map[int32]uint{0: 0, 1: 1, -1: 1, 2: 2, 3: 2, -3: 2, 4: 3, 255: 8, -256: 9, 1023: 10}
+	for v, want := range cases {
+		if got := bitLen(v); got != want {
+			t.Errorf("bitLen(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package mjpeg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// JPEG marker bytes used by this codec.
+const (
+	mSOI  = 0xd8
+	mEOI  = 0xd9
+	mAPP0 = 0xe0
+	mDQT  = 0xdb
+	mSOF0 = 0xc0
+	mDHT  = 0xc4
+	mSOS  = 0xda
+)
+
+func writeSegment(buf *bytes.Buffer, marker byte, payload []byte) {
+	buf.WriteByte(0xff)
+	buf.WriteByte(marker)
+	var ln [2]byte
+	binary.BigEndian.PutUint16(ln[:], uint16(len(payload)+2))
+	buf.Write(ln[:])
+	buf.Write(payload)
+}
+
+// componentSpec describes the three fixed components of our 4:2:0 frames.
+type componentSpec struct {
+	id       byte
+	sampling byte // h<<4 | v
+	qtab     byte
+	dctab    byte
+	actab    byte
+}
+
+var components = [3]componentSpec{
+	{id: 1, sampling: 0x22, qtab: 0, dctab: 0, actab: 0}, // Y
+	{id: 2, sampling: 0x11, qtab: 1, dctab: 1, actab: 1}, // U
+	{id: 3, sampling: 0x11, qtab: 1, dctab: 1, actab: 1}, // V
+}
+
+// EncodeFrameJPEG assembles one baseline JFIF image from quantized
+// coefficient blocks (Y, U, V in row-major block order) using
+// non-interleaved scans, one per component — the natural layout for the
+// paper's per-component result fields.
+func EncodeFrameJPEG(coeffs *[3][]Block, w, h int, qLuma, qChroma *QuantTable) []byte {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, mSOI})
+
+	app0 := []byte{'J', 'F', 'I', 'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0}
+	writeSegment(&buf, mAPP0, app0)
+
+	for i, qt := range []*QuantTable{qLuma, qChroma} {
+		payload := make([]byte, 65)
+		payload[0] = byte(i) // Pq=0 (8-bit), Tq=i
+		for k := 0; k < 64; k++ {
+			payload[1+k] = byte(qt[Zigzag[k]])
+		}
+		writeSegment(&buf, mDQT, payload)
+	}
+
+	sof := []byte{8, byte(h >> 8), byte(h), byte(w >> 8), byte(w), 3}
+	for _, c := range components {
+		sof = append(sof, c.id, c.sampling, c.qtab)
+	}
+	writeSegment(&buf, mSOF0, sof)
+
+	for _, ht := range []struct {
+		class byte
+		id    byte
+		spec  *HuffSpec
+	}{
+		{0, 0, &SpecDCLuma}, {1, 0, &SpecACLuma},
+		{0, 1, &SpecDCChroma}, {1, 1, &SpecACChroma},
+	} {
+		payload := append([]byte{ht.class<<4 | ht.id}, ht.spec.Bits[:]...)
+		payload = append(payload, ht.spec.Vals...)
+		writeSegment(&buf, mDHT, payload)
+	}
+
+	encoders := [2][2]*HuffEncoder{
+		{NewHuffEncoder(&SpecDCLuma), NewHuffEncoder(&SpecACLuma)},
+		{NewHuffEncoder(&SpecDCChroma), NewHuffEncoder(&SpecACChroma)},
+	}
+	for ci, c := range components {
+		sos := []byte{1, c.id, c.dctab<<4 | c.actab, 0, 63, 0}
+		writeSegment(&buf, mSOS, sos)
+		dc, ac := encoders[c.dctab][0], encoders[c.actab][1]
+		bw := &BitWriter{}
+		pred := int32(0)
+		for i := range coeffs[ci] {
+			pred = EncodeBlock(bw, &coeffs[ci][i], pred, dc, ac)
+		}
+		buf.Write(bw.Flush())
+	}
+
+	buf.Write([]byte{0xff, mEOI})
+	return buf.Bytes()
+}
+
+// Decoded is a parsed baseline JPEG produced by this package's encoder.
+type Decoded struct {
+	W, H   int
+	Coeffs [3][]Block // quantized coefficients per component
+	QTabs  [2]QuantTable
+}
+
+// DecodeFrameJPEG parses one image produced by EncodeFrameJPEG back into
+// quantized coefficient blocks. It understands exactly the subset of JPEG
+// this package emits (baseline, 4:2:0, non-interleaved scans) and is used to
+// verify encoder output end to end.
+func DecodeFrameJPEG(data []byte) (*Decoded, error) {
+	if len(data) < 4 || data[0] != 0xff || data[1] != mSOI {
+		return nil, fmt.Errorf("mjpeg: missing SOI")
+	}
+	d := &Decoded{}
+	var huffDC, huffAC [2]*HuffDecoder
+	scans := 0
+	pos := 2
+	for pos+2 <= len(data) {
+		if data[pos] != 0xff {
+			return nil, fmt.Errorf("mjpeg: expected marker at %d, found %#x", pos, data[pos])
+		}
+		marker := data[pos+1]
+		if marker == mEOI {
+			if scans != 3 {
+				return nil, fmt.Errorf("mjpeg: EOI after %d scans", scans)
+			}
+			return d, nil
+		}
+		if pos+4 > len(data) {
+			break
+		}
+		ln := int(binary.BigEndian.Uint16(data[pos+2 : pos+4]))
+		seg := data[pos+4 : pos+2+ln]
+		pos += 2 + ln
+		switch marker {
+		case mAPP0:
+			// informational only
+		case mDQT:
+			id := seg[0] & 0x0f
+			if id > 1 || len(seg) < 65 {
+				return nil, fmt.Errorf("mjpeg: bad DQT")
+			}
+			for k := 0; k < 64; k++ {
+				d.QTabs[id][Zigzag[k]] = int32(seg[1+k])
+			}
+		case mSOF0:
+			d.H = int(binary.BigEndian.Uint16(seg[1:3]))
+			d.W = int(binary.BigEndian.Uint16(seg[3:5]))
+			if seg[5] != 3 {
+				return nil, fmt.Errorf("mjpeg: expected 3 components, got %d", seg[5])
+			}
+		case mDHT:
+			class, id := seg[0]>>4, seg[0]&0x0f
+			if id > 1 {
+				return nil, fmt.Errorf("mjpeg: huffman table id %d", id)
+			}
+			spec := &HuffSpec{}
+			copy(spec.Bits[:], seg[1:17])
+			spec.Vals = append([]byte(nil), seg[17:]...)
+			if class == 0 {
+				huffDC[id] = NewHuffDecoder(spec)
+			} else {
+				huffAC[id] = NewHuffDecoder(spec)
+			}
+		case mSOS:
+			if seg[0] != 1 {
+				return nil, fmt.Errorf("mjpeg: interleaved scans unsupported")
+			}
+			compID := seg[1]
+			ci := int(compID) - 1
+			if ci < 0 || ci > 2 {
+				return nil, fmt.Errorf("mjpeg: component id %d", compID)
+			}
+			tabs := seg[2]
+			dcDec, acDec := huffDC[tabs>>4], huffAC[tabs&0x0f]
+			if dcDec == nil || acDec == nil {
+				return nil, fmt.Errorf("mjpeg: scan references undefined huffman tables")
+			}
+			cw, ch := d.W, d.H
+			if ci > 0 {
+				cw, ch = (d.W+1)/2, (d.H+1)/2
+			}
+			nblocks := ((cw + 7) / 8) * ((ch + 7) / 8)
+			br := NewBitReader(data[pos:])
+			pred := int32(0)
+			blocks := make([]Block, nblocks)
+			for i := 0; i < nblocks; i++ {
+				var err error
+				pred, err = DecodeBlock(br, &blocks[i], pred, dcDec, acDec)
+				if err != nil {
+					return nil, fmt.Errorf("mjpeg: scan %d block %d: %w", ci, i, err)
+				}
+			}
+			d.Coeffs[ci] = blocks
+			// Skip to the next marker after the entropy data.
+			pos += br.Offset()
+			for pos+1 < len(data) && !(data[pos] == 0xff && data[pos+1] != 0x00) {
+				pos++
+			}
+			scans++
+		default:
+			return nil, fmt.Errorf("mjpeg: unexpected marker %#x", marker)
+		}
+	}
+	return nil, fmt.Errorf("mjpeg: missing EOI")
+}
+
+// SplitFrames splits a concatenated MJPEG stream into individual JPEG
+// images by SOI/EOI framing.
+func SplitFrames(stream []byte) [][]byte {
+	var frames [][]byte
+	start := -1
+	for i := 0; i+1 < len(stream); i++ {
+		if stream[i] != 0xff {
+			continue
+		}
+		switch stream[i+1] {
+		case mSOI:
+			if start < 0 {
+				start = i
+			}
+		case mEOI:
+			if start >= 0 {
+				frames = append(frames, stream[start:i+2])
+				start = -1
+			}
+		}
+	}
+	return frames
+}

@@ -1,0 +1,161 @@
+package mjpeg
+
+// Standard JPEG (Annex K) base quantization tables, row-major.
+var (
+	baseLumaQuant = [64]int32{
+		16, 11, 10, 16, 24, 40, 51, 61,
+		12, 12, 14, 19, 26, 58, 60, 55,
+		14, 13, 16, 24, 40, 57, 69, 56,
+		14, 17, 22, 29, 51, 87, 80, 62,
+		18, 22, 37, 56, 68, 109, 103, 77,
+		24, 35, 55, 64, 81, 104, 113, 92,
+		49, 64, 78, 87, 103, 121, 120, 101,
+		72, 92, 95, 98, 112, 100, 103, 99,
+	}
+	baseChromaQuant = [64]int32{
+		17, 18, 24, 47, 99, 99, 99, 99,
+		18, 21, 26, 66, 99, 99, 99, 99,
+		24, 26, 56, 99, 99, 99, 99, 99,
+		47, 66, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+	}
+)
+
+// Zigzag maps zigzag positions to row-major block offsets (Zigzag[k] is the
+// row-major index of the k-th coefficient in scan order).
+var Zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// QuantTable is a row-major quantization table scaled to a quality setting.
+type QuantTable [64]int32
+
+// ScaleQuant derives a quantization table from a base table and an IJG-style
+// quality factor in [1,100]: 50 reproduces the base table, higher is finer.
+func ScaleQuant(base *[64]int32, quality int) *QuantTable {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	var scale int32
+	if quality < 50 {
+		scale = int32(5000 / quality)
+	} else {
+		scale = int32(200 - 2*quality)
+	}
+	var t QuantTable
+	for i, b := range base {
+		v := (b*scale + 50) / 100
+		if v < 1 {
+			v = 1
+		}
+		if v > 255 {
+			v = 255
+		}
+		t[i] = v
+	}
+	return &t
+}
+
+// LumaQuant returns the luminance table at the given quality.
+func LumaQuant(quality int) *QuantTable { return ScaleQuant(&baseLumaQuant, quality) }
+
+// ChromaQuant returns the chrominance table at the given quality.
+func ChromaQuant(quality int) *QuantTable { return ScaleQuant(&baseChromaQuant, quality) }
+
+// Quantize divides DCT coefficients by the table with round-to-nearest,
+// writing quantized coefficients into out.
+func Quantize(coeffs *[64]float64, qt *QuantTable, out *Block) {
+	for i, c := range coeffs {
+		q := float64(qt[i])
+		if c >= 0 {
+			out[i] = int32(c/q + 0.5)
+		} else {
+			out[i] = -int32(-c/q + 0.5)
+		}
+	}
+}
+
+// Dequantize multiplies quantized coefficients back by the table.
+func Dequantize(in *Block, qt *QuantTable, out *Block) {
+	for i, c := range in {
+		out[i] = c * qt[i]
+	}
+}
+
+// DCTQuantBlock performs the compute-intensive half of JPEG encoding for one
+// macroblock — forward DCT then quantization — using the naive or the AAN
+// fast transform. This is exactly the work of the paper's yDCT/uDCT/vDCT
+// kernel instances.
+func DCTQuantBlock(in *Block, qt *QuantTable, fast bool, out *Block) {
+	var f [64]float64
+	if fast {
+		DCTFast(in, &f)
+	} else {
+		DCTNaive(in, &f)
+	}
+	Quantize(&f, qt, out)
+}
+
+// ExtractBlocks splits a plane into 8x8 macroblocks in row-major block order.
+// Planes whose dimensions are not multiples of 8 are edge-padded by
+// replicating the last row/column, the conventional JPEG treatment.
+func ExtractBlocks(plane []byte, w, h int) []Block {
+	bw, bh := (w+7)/8, (h+7)/8
+	blocks := make([]Block, bw*bh)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			b := &blocks[by*bw+bx]
+			for y := 0; y < 8; y++ {
+				sy := by*8 + y
+				if sy >= h {
+					sy = h - 1
+				}
+				for x := 0; x < 8; x++ {
+					sx := bx*8 + x
+					if sx >= w {
+						sx = w - 1
+					}
+					b[y*8+x] = int32(plane[sy*w+sx])
+				}
+			}
+		}
+	}
+	return blocks
+}
+
+// AssemblePlane is the inverse of ExtractBlocks: it writes spatial blocks
+// back into a w x h plane, discarding padding.
+func AssemblePlane(blocks []Block, w, h int) []byte {
+	bw := (w + 7) / 8
+	plane := make([]byte, w*h)
+	for i := range blocks {
+		bx, by := i%bw, i/bw
+		for y := 0; y < 8; y++ {
+			sy := by*8 + y
+			if sy >= h {
+				continue
+			}
+			for x := 0; x < 8; x++ {
+				sx := bx*8 + x
+				if sx >= w {
+					continue
+				}
+				plane[sy*w+sx] = byte(blocks[i][y*8+x])
+			}
+		}
+	}
+	return plane
+}

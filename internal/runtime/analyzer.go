@@ -1,0 +1,649 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// event is the message kernel instances send to the dependency analyzer. The
+// paper's prototype is "a push-based system using event subscriptions on
+// field operations": store statements emit events, and the analyzer — running
+// in its own dedicated goroutine — derives every new valid combination of age
+// and index variables that became runnable.
+type event struct {
+	isDone bool
+
+	// store event fields
+	fs      *fieldState
+	age     int
+	elem    []int // element coordinates, nil for a whole-field store
+	whole   bool
+	grew    bool
+	extents []int
+
+	// done event fields
+	t       *ageTracker
+	inst    *instState
+	stores  int
+	stopped bool
+
+	// remote-done event: a remote kernel finished the given age.
+	remoteDone *kernelState
+
+	// stop ends a NoAutoQuiesce node.
+	stop bool
+}
+
+type actionKind uint8
+
+const (
+	actFieldComplete actionKind = iota
+	actTrackerComplete
+)
+
+type action struct {
+	kind actionKind
+	fs   *fieldState
+	age  int
+	t    *ageTracker
+}
+
+// analyzer is the dependency analyzer half of the low-level scheduler. It is
+// single-threaded by design (the paper's §VIII-B attributes the K-means
+// scaling limit to exactly this serial component).
+type analyzer struct {
+	n             *Node
+	actions       []action
+	stopRequested bool
+	// outstanding counts instances handed to the ready queue whose done
+	// event has not yet been processed. Quiescence is outstanding == 0
+	// with no pending events or unflushed ready instances.
+	outstanding int
+	dirty       map[*ageTracker]struct{}
+}
+
+func newAnalyzer(n *Node) *analyzer {
+	return &analyzer{n: n, dirty: make(map[*ageTracker]struct{})}
+}
+
+// run is the analyzer main loop. It returns once the node quiesces (no
+// runnable or running instances remain) or a kernel failed.
+func (an *analyzer) run() {
+	an.bootstrap()
+	for !an.stopRequested {
+		// Drain everything currently available.
+		draining := true
+		for draining && !an.stopRequested {
+			select {
+			case ev, ok := <-an.n.events:
+				if !ok {
+					return
+				}
+				an.handle(ev)
+			default:
+				draining = false
+			}
+		}
+		if an.n.failed() || an.stopRequested {
+			break
+		}
+		// Lull: flush partially filled dispatch batches, then check for
+		// quiescence. Distributed nodes (NoAutoQuiesce) keep waiting for
+		// remote events instead of terminating.
+		an.flushDirty()
+		if an.outstanding == 0 && !an.n.opts.NoAutoQuiesce {
+			break
+		}
+		ev, ok := <-an.n.events
+		if !ok {
+			return
+		}
+		an.handle(ev)
+	}
+	an.shutdown()
+}
+
+// shutdown closes the ready queue (workers exit once they drain it) and
+// consumes remaining events until the node closes the channel after all
+// workers have stopped; this prevents workers from blocking on a full event
+// channel during teardown.
+func (an *analyzer) shutdown() {
+	an.n.queue.Close()
+	an.n.closeEventsWhenWorkersExit()
+	for range an.n.events {
+	}
+}
+
+// bootstrap creates the trackers that exist before any event: run-once
+// kernels and age 0 of source kernels.
+func (an *analyzer) bootstrap() {
+	for _, ks := range an.n.order {
+		if ks.remote {
+			continue
+		}
+		switch {
+		case ks.decl.RunOnce():
+			an.ensureTracker(ks, 0)
+		case ks.decl.Source():
+			an.sourceTracker(ks, 0)
+		}
+	}
+	an.drainActions()
+	an.flushDirty()
+}
+
+func (an *analyzer) handle(ev event) {
+	switch {
+	case ev.stop:
+		an.stopRequested = true
+	case ev.remoteDone != nil:
+		an.handleRemoteDone(ev.remoteDone, ev.age)
+	case ev.isDone:
+		an.handleDone(ev)
+	default:
+		an.handleStore(ev)
+	}
+	an.drainActions()
+}
+
+// handleRemoteDone propagates a remote kernel-age completion: every field
+// generation it stores to counts the producer as done (the producer half of
+// onTrackerComplete; consumer/GC accounting is meaningless for remote
+// kernels).
+func (an *analyzer) handleRemoteDone(ks *kernelState, age int) {
+	for i := range ks.decl.Stores {
+		ss := &ks.decl.Stores[i]
+		g := ss.Age.Eval(age)
+		fs := an.n.fields[ss.Field]
+		fa := an.fieldAge(fs, g)
+		fa.producersDone++
+		if fa.producersDone == fa.expected && !fa.complete {
+			fa.complete = true
+			fs.f.MarkComplete(g)
+			an.push(action{kind: actFieldComplete, fs: fs, age: g})
+		}
+	}
+}
+
+func (an *analyzer) drainActions() {
+	for len(an.actions) > 0 {
+		a := an.actions[0]
+		an.actions = an.actions[1:]
+		switch a.kind {
+		case actFieldComplete:
+			an.onFieldComplete(a.fs, a.age)
+		case actTrackerComplete:
+			an.onTrackerComplete(a.t)
+		}
+	}
+}
+
+func (an *analyzer) push(a action) { an.actions = append(an.actions, a) }
+
+// fieldAge returns (creating on demand) the completeness state of one field
+// generation. A generation with no relevant producers completes immediately:
+// no store can ever reach it, so consumers see an empty, final extent.
+func (an *analyzer) fieldAge(fs *fieldState, g int) *fieldAgeState {
+	if fa := fs.ages[g]; fa != nil {
+		return fa
+	}
+	expected := 0
+	for _, pe := range fs.producers {
+		ae := pe.store.Age
+		if ae.HasVar {
+			if g-ae.Offset >= 0 {
+				expected++
+			}
+		} else if ae.Offset == g {
+			expected++
+		}
+	}
+	fa := &fieldAgeState{expected: expected}
+	fs.ages[g] = fa
+	if expected == 0 {
+		fa.complete = true
+		fs.f.MarkComplete(g)
+		an.push(action{kind: actFieldComplete, fs: fs, age: g})
+	}
+	return fa
+}
+
+// ensureTracker returns the tracker for (kernel, age), creating it — with a
+// full satisfaction scan over current field state — when it does not exist.
+// Source kernels are excluded (their trackers are created sequentially by the
+// continuation rule) as are ages outside [0, MaxAge].
+func (an *analyzer) ensureTracker(ks *kernelState, age int) (*ageTracker, bool) {
+	if age < 0 || age > an.n.opts.MaxAge || age > an.n.kernelMaxAge(ks) {
+		return nil, false
+	}
+	if t := ks.ages[age]; t != nil {
+		return t, false
+	}
+	if ks.remote || ks.decl.Source() || (ks.decl.RunOnce() && age != 0) {
+		return nil, false
+	}
+	t := &ageTracker{
+		ks:      ks,
+		age:     age,
+		extents: make([]int, len(ks.binds)),
+		inst:    make(map[int64]*instState),
+	}
+	ks.ages[age] = t
+	bindDone := 0
+	for i, b := range ks.binds {
+		ga := b.age.Eval(age)
+		t.extents[i] = b.fs.f.Extents(ga)[b.dim]
+		if an.fieldAge(b.fs, ga).complete {
+			bindDone++
+		}
+	}
+	t.bindsDone = bindDone
+	t.domainFinal = bindDone == len(ks.binds)
+	if len(ks.binds) == 0 {
+		an.createInstance(t, nil)
+	} else {
+		from := make([]int, len(ks.binds))
+		newCells(from, t.extents, func(c []int) { an.createInstance(t, c) })
+	}
+	an.maybeTrackerDone(t)
+	return t, true
+}
+
+// sourceTracker creates the single-instance tracker for a source kernel at
+// the given age; the instance is immediately runnable.
+func (an *analyzer) sourceTracker(ks *kernelState, age int) {
+	if age > an.n.opts.MaxAge || age > an.n.kernelMaxAge(ks) || ks.ages[age] != nil {
+		return
+	}
+	t := &ageTracker{ks: ks, age: age, inst: make(map[int64]*instState), domainFinal: true}
+	ks.ages[age] = t
+	an.createInstance(t, nil)
+}
+
+// createInstance registers one instance and computes its initial fetch
+// satisfaction from current field state.
+func (an *analyzer) createInstance(t *ageTracker, coords []int) {
+	is := &instState{coords: append([]int(nil), coords...)}
+	t.inst[coordKey(coords)] = is
+	t.total++
+	ks := t.ks
+	for i := range ks.decl.Fetches {
+		fe := &ks.decl.Fetches[i]
+		g := fe.Age.Eval(t.age)
+		fs := an.n.fields[fe.Field]
+		bit := uint32(1) << uint(i)
+		if fe.Whole() || fe.Slab() {
+			if an.fieldAge(fs, g).complete {
+				an.setBit(t, is, bit)
+			}
+		} else {
+			idx := evalIndex(fe.Index, ks.decl.IndexVars, is.coords)
+			if _, ok := fs.f.At(g, idx...); ok {
+				an.setBit(t, is, bit)
+			}
+		}
+	}
+	if ks.fullMask == 0 {
+		an.setBit(t, is, 0) // no fetches: immediately runnable
+	}
+}
+
+// setBit records that one fetch of one instance is satisfied; when all
+// fetches are satisfied the instance joins the tracker's pending batch.
+func (an *analyzer) setBit(t *ageTracker, is *instState, bit uint32) {
+	if is.st != instWaiting {
+		return
+	}
+	if bit != 0 {
+		if is.mask&bit != 0 {
+			return
+		}
+		is.mask |= bit
+	}
+	if is.mask == t.ks.fullMask {
+		is.st = instQueued
+		t.pending = append(t.pending, is)
+		an.dirty[t] = struct{}{}
+		if len(t.pending) >= t.ks.gran {
+			an.flushPending(t, false)
+		}
+	}
+}
+
+// flushPending moves ready instances into dispatch batches of the kernel's
+// granularity; partial batches are flushed only when partial is true (at
+// analyzer lulls, so stragglers are never stranded).
+func (an *analyzer) flushPending(t *ageTracker, partial bool) {
+	g := t.ks.gran
+	for len(t.pending) >= g || (partial && len(t.pending) > 0) {
+		n := g
+		if n > len(t.pending) {
+			n = len(t.pending)
+		}
+		insts := make([]*instState, n)
+		copy(insts, t.pending[:n])
+		t.pending = t.pending[n:]
+		an.outstanding += n
+		an.n.outstandingMirror.Add(int64(n))
+		an.n.queue.Push(&batch{tracker: t, insts: insts})
+	}
+	if len(t.pending) == 0 {
+		delete(an.dirty, t)
+	}
+}
+
+func (an *analyzer) flushDirty() {
+	for t := range an.dirty {
+		an.flushPending(t, true)
+	}
+}
+
+func (an *analyzer) maybeTrackerDone(t *ageTracker) {
+	if t.completed || !t.domainFinal || t.done != t.total || len(t.pending) != 0 {
+		return
+	}
+	t.completed = true
+	an.push(action{kind: actTrackerComplete, t: t})
+}
+
+// handleDone processes a finished instance: continuation for source kernels,
+// adaptive granularity, and kernel-age completion.
+func (an *analyzer) handleDone(ev event) {
+	an.outstanding--
+	an.n.outstandingMirror.Add(-1)
+	ev.inst.st = instDone
+	t := ev.t
+	t.done++
+	ks := t.ks
+	if ks.decl.Source() {
+		if ev.stopped || ev.stores == 0 {
+			ks.sourceStopped = true
+		} else {
+			an.sourceTracker(ks, t.age+1)
+		}
+	}
+	if an.n.opts.Adaptive {
+		an.adapt(ks)
+	}
+	an.maybeTrackerDone(t)
+	an.drainActions()
+}
+
+// adapt implements the low-level scheduler's dynamic data-granularity
+// decision (§V-A): when dispatch overhead is not clearly dominated by kernel
+// time, instances are combined into larger slices.
+func (an *analyzer) adapt(ks *kernelState) {
+	n := ks.instances.Load()
+	if n == 0 || n%128 != 0 || ks.gran >= 256 {
+		return
+	}
+	disp := ks.dispatchNs.Load() / n
+	kern := ks.kernelNs.Load() / n
+	if kern < 2*disp {
+		ks.gran *= 2
+		if ks.gran > 256 {
+			ks.gran = 256
+		}
+	}
+}
+
+// handleStore processes a store event: domain growth for kernels whose index
+// range the field defines, then fetch satisfaction for consumers.
+func (an *analyzer) handleStore(ev event) {
+	an.fieldAge(ev.fs, ev.age)
+	if ev.grew {
+		for _, re := range ev.fs.rangeOf {
+			an.forTrackers(re.ks, re.age, ev.age, true, func(t *ageTracker) {
+				an.growTracker(t, re.varIdx, ev.extents[re.dim])
+			})
+		}
+	}
+	for _, ce := range ev.fs.consumers {
+		if ce.fetch.Whole() || ce.fetch.Slab() {
+			continue // whole/slab fetches are satisfied by completeness, not stores
+		}
+		an.forTrackers(ce.ks, ce.fetch.Age, ev.age, true, func(t *ageTracker) {
+			if ev.whole {
+				an.scanSatisfy(t, ce)
+			} else {
+				an.satisfyElem(t, ce, ev.elem)
+			}
+		})
+	}
+}
+
+// forTrackers visits the trackers of ks whose fetch/store age expression ae
+// maps to field generation g. For age-variable expressions that is a single
+// tracker (created on demand when ensure is true); for absolute expressions
+// it is every existing tracker. Freshly created trackers are not visited —
+// their creation scan already covers current field state.
+func (an *analyzer) forTrackers(ks *kernelState, ae core.AgeExpr, g int, ensure bool, visit func(*ageTracker)) {
+	if ae.HasVar {
+		a := g - ae.Offset
+		var t *ageTracker
+		var created bool
+		if ensure {
+			t, created = an.ensureTracker(ks, a)
+		} else {
+			t = ks.ages[a]
+		}
+		if t != nil && !created {
+			visit(t)
+		}
+		return
+	}
+	if ae.Offset != g {
+		return
+	}
+	for _, t := range ks.ages {
+		visit(t)
+	}
+}
+
+// growTracker extends the domain of one index variable and creates the new
+// instances (the paper's "implicit resize can lead to additional kernel
+// instances being dispatched").
+func (an *analyzer) growTracker(t *ageTracker, varIdx, newExt int) {
+	if t.completed || newExt <= t.extents[varIdx] {
+		return
+	}
+	from := append([]int(nil), t.extents...)
+	t.extents[varIdx] = newExt
+	newCells(from, t.extents, func(c []int) { an.createInstance(t, c) })
+}
+
+// satisfyElem marks the fetch bit of every instance whose fetch coordinates
+// match a stored element. Index variables not mentioned in the fetch are
+// unconstrained and enumerated over the current domain.
+func (an *analyzer) satisfyElem(t *ageTracker, ce consEdge, elem []int) {
+	if t.completed {
+		return
+	}
+	vars := t.ks.decl.IndexVars
+	coords := make([]int, len(vars))
+	constrained := make([]bool, len(vars))
+	for d, spec := range ce.fetch.Index {
+		switch spec.Kind {
+		case core.IndexVarKind:
+			vi := varIndex(vars, spec.Var)
+			c := elem[d] - spec.Off
+			if c < 0 || c >= t.extents[vi] {
+				return // instance does not exist (yet); creation scans cover it
+			}
+			if constrained[vi] && coords[vi] != c {
+				return // e.g. fetch f(a)[x][x] with mismatched coordinates
+			}
+			coords[vi] = c
+			constrained[vi] = true
+		default:
+			if spec.Lit != elem[d] {
+				return
+			}
+		}
+	}
+	an.enumerate(t, coords, constrained, 0, ce.fetchBit)
+}
+
+func (an *analyzer) enumerate(t *ageTracker, coords []int, constrained []bool, d int, bit uint32) {
+	if d == len(coords) {
+		if is := t.inst[coordKey(coords)]; is != nil {
+			an.setBit(t, is, bit)
+		}
+		return
+	}
+	if constrained[d] {
+		an.enumerate(t, coords, constrained, d+1, bit)
+		return
+	}
+	for c := 0; c < t.extents[d]; c++ {
+		coords[d] = c
+		an.enumerate(t, coords, constrained, d+1, bit)
+	}
+	coords[d] = 0
+}
+
+// scanSatisfy re-checks one element fetch against current field contents for
+// every instance that still misses it (used after whole-field stores, which
+// cover many elements with one event).
+func (an *analyzer) scanSatisfy(t *ageTracker, ce consEdge) {
+	if t.completed {
+		return
+	}
+	g := ce.fetch.Age.Eval(t.age)
+	fs := an.n.fields[ce.fetch.Field]
+	for _, is := range t.inst {
+		if is.st != instWaiting || is.mask&ce.fetchBit != 0 {
+			continue
+		}
+		idx := evalIndex(ce.fetch.Index, t.ks.decl.IndexVars, is.coords)
+		if _, ok := fs.f.At(g, idx...); ok {
+			an.setBit(t, is, ce.fetchBit)
+		}
+	}
+}
+
+// onTrackerComplete propagates a finished kernel-age: producer accounting on
+// stored fields, consumer accounting (garbage collection) on fetched fields.
+func (an *analyzer) onTrackerComplete(t *ageTracker) {
+	ks := t.ks
+	if cb := an.n.opts.OnKernelDone; cb != nil {
+		cb(ks.decl.Name, t.age)
+	}
+	for i := range ks.decl.Stores {
+		ss := &ks.decl.Stores[i]
+		g := ss.Age.Eval(t.age)
+		fs := an.n.fields[ss.Field]
+		fa := an.fieldAge(fs, g)
+		fa.producersDone++
+		if fa.producersDone == fa.expected && !fa.complete {
+			fa.complete = true
+			fs.f.MarkComplete(g)
+			an.push(action{kind: actFieldComplete, fs: fs, age: g})
+		}
+	}
+	for i := range ks.decl.Fetches {
+		fe := &ks.decl.Fetches[i]
+		if !fe.Age.HasVar {
+			continue // absolute-age fetches pin the generation forever
+		}
+		g := fe.Age.Eval(t.age)
+		fs := an.n.fields[fe.Field]
+		fa := an.fieldAge(fs, g)
+		fa.consumersDone++
+		an.gcCheck(fs, g, fa)
+	}
+	t.inst = nil // instances are no longer needed; free the memory
+}
+
+// onFieldComplete propagates a complete field generation: whole-field fetches
+// become satisfiable, and index domains bound to the field become final.
+func (an *analyzer) onFieldComplete(fs *fieldState, g int) {
+	for _, ce := range fs.consumers {
+		if !ce.fetch.Whole() && !ce.fetch.Slab() {
+			continue
+		}
+		an.forTrackers(ce.ks, ce.fetch.Age, g, true, func(t *ageTracker) {
+			if t.completed {
+				return
+			}
+			for _, is := range t.inst {
+				an.setBit(t, is, ce.fetchBit)
+			}
+		})
+	}
+	for _, re := range fs.rangeOf {
+		reVar := re.varIdx
+		an.forTrackers(re.ks, re.age, g, true, func(t *ageTracker) {
+			if t.completed {
+				return
+			}
+			// Sync the final extent (stores processed earlier already
+			// grew the domain; this is a no-op safeguard).
+			an.growTracker(t, reVar, fs.f.Extents(g)[re.dim])
+			t.bindsDone++
+			if t.bindsDone == len(t.ks.binds) {
+				t.domainFinal = true
+				an.maybeTrackerDone(t)
+			}
+		})
+	}
+	fa := fs.ages[g]
+	an.gcCheck(fs, g, fa)
+}
+
+// gcCheck garbage collects a field generation once it is complete and every
+// age-variable consumer kernel-age has finished with it (§IX: "garbage
+// collecting old ages"). Generations read through absolute-age fetches are
+// pinned forever.
+func (an *analyzer) gcCheck(fs *fieldState, g int, fa *fieldAgeState) {
+	if !an.n.opts.GC || fa == nil || fa.collected {
+		return
+	}
+	if !fa.complete || fs.absConsumers > 0 || fs.agedConsumers == 0 {
+		return
+	}
+	if fa.consumersDone >= fs.agedConsumers {
+		fa.collected = true
+		fs.f.DropAge(g)
+	}
+}
+
+// stalled describes every kernel-age that never completed — the node
+// quiesced with unsatisfied dependencies (a programming error such as
+// fetching an element nobody stores).
+func (an *analyzer) stalled() []string {
+	var out []string
+	for _, ks := range an.n.order {
+		for age, t := range ks.ages {
+			if !t.completed {
+				out = append(out, fmt.Sprintf("%s(age=%d): %d/%d instances done, domainFinal=%v",
+					ks.decl.Name, age, t.done, t.total, t.domainFinal))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func varIndex(vars []string, name string) int {
+	for i, v := range vars {
+		if v == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("p2g: unknown index variable %q", name))
+}
+
+func evalIndex(spec []core.IndexSpec, vars []string, coords []int) []int {
+	idx := make([]int, len(spec))
+	for d, s := range spec {
+		if s.Kind == core.IndexVarKind {
+			idx[d] = coords[varIndex(vars, s.Var)] + s.Off
+		} else {
+			idx[d] = s.Lit
+		}
+	}
+	return idx
+}

@@ -1,0 +1,225 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deadline"
+	"repro/internal/field"
+)
+
+// TestOuterProductDomain exercises instances whose index variables are bound
+// by *different* fields: one store event satisfies a whole stripe of
+// instances (the analyzer's unconstrained-variable enumeration).
+func TestOuterProductDomain(t *testing.T) {
+	b := core.NewBuilder("outer")
+	b.Field("rows", field.Int32, 1, true)
+	b.Field("cols", field.Int32, 1, true)
+	b.Field("prod", field.Int32, 2, true)
+
+	b.Kernel("mkrows").
+		Local("r", field.Int32, 1).
+		StoreAll("rows", core.AgeAt(0), "r").
+		Body(func(c *core.Ctx) error {
+			for i := 0; i < 3; i++ {
+				c.Array("r").Put(field.Int32Val(int32(i+1)), i)
+			}
+			return nil
+		})
+	b.Kernel("mkcols").
+		Local("r", field.Int32, 1).
+		StoreAll("cols", core.AgeAt(0), "r").
+		Body(func(c *core.Ctx) error {
+			for i := 0; i < 4; i++ {
+				c.Array("r").Put(field.Int32Val(int32(10*(i+1))), i)
+			}
+			return nil
+		})
+	b.Kernel("mul").Index("x", "y").
+		Local("a", field.Int32, 0).
+		Local("b", field.Int32, 0).
+		Local("p", field.Int32, 0).
+		Fetch("a", "rows", core.AgeAt(0), core.Idx("x")).
+		Fetch("b", "cols", core.AgeAt(0), core.Idx("y")).
+		Store("prod", core.AgeAt(0), []core.IndexSpec{core.Idx("x"), core.Idx("y")}, "p").
+		Body(func(c *core.Ctx) error {
+			c.SetInt32("p", c.Int32("a")*c.Int32("b"))
+			return nil
+		})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(p, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Kernel("mul").Instances; got != 12 {
+		t.Fatalf("mul instances = %d, want 12 (3x4 outer product)", got)
+	}
+	s, _ := n.Snapshot("prod", 0)
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 4; y++ {
+			want := int32((x + 1) * 10 * (y + 1))
+			if got := s.At(x, y).Int32(); got != want {
+				t.Errorf("prod[%d][%d] = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+	if len(rep.Stalled) != 0 {
+		t.Errorf("stalled: %v", rep.Stalled)
+	}
+}
+
+// TestDeadlineAlternatePathDeterministic drives the §V-B mechanism with a
+// fake clock: the first ages take the primary path, later ages (after the
+// clock advances past the budget) take the alternate path.
+func TestDeadlineAlternatePathDeterministic(t *testing.T) {
+	clk := deadline.NewFakeClock()
+	b := core.NewBuilder("dl")
+	b.Timer("t1")
+	b.Field("in", field.Int32, 1, true)
+	b.Field("fast", field.Int32, 1, true)
+	b.Field("slow", field.Int32, 1, true)
+
+	b.Kernel("src").Age("a").
+		Local("v", field.Int32, 1).
+		StoreAll("in", core.AgeVar(0), "v").
+		Body(func(c *core.Ctx) error {
+			if c.Age() >= 6 {
+				return nil
+			}
+			c.Array("v").Put(field.Int32Val(int32(c.Age())), 0)
+			// Advance the fake clock one "frame time" per age; the
+			// source is sequential so this is deterministic.
+			clk.Advance(10 * time.Millisecond)
+			return nil
+		})
+	b.Kernel("enc").Age("a").Index("x").
+		Local("v", field.Int32, 0).
+		Local("hi", field.Int32, 0).
+		Local("lo", field.Int32, 0).
+		Fetch("v", "in", core.AgeVar(0), core.Idx("x")).
+		Store("fast", core.AgeVar(0), []core.IndexSpec{core.Idx("x")}, "lo").
+		Store("slow", core.AgeVar(0), []core.IndexSpec{core.Idx("x")}, "hi").
+		Body(func(c *core.Ctx) error {
+			late, err := c.Expired("t1", 35*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			if late {
+				c.SetInt32("lo", c.Int32("v"))
+			} else {
+				c.SetInt32("hi", c.Int32("v"))
+			}
+			return nil
+		})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(p, Options{Workers: 1, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Ages 0..2 ran with elapsed <= 30ms (primary path); from age 3 the
+	// budget is blown (elapsed 40ms+) and the alternate path fires.
+	for a := 0; a < 6; a++ {
+		hi, _ := n.Snapshot("slow", a)
+		lo, _ := n.Snapshot("fast", a)
+		_, hiWritten := hiAt(hi)
+		_, loWritten := hiAt(lo)
+		wantPrimary := a < 3
+		if wantPrimary && (!hiWritten || loWritten) {
+			t.Errorf("age %d should take the primary path (hi=%v lo=%v)", a, hiWritten, loWritten)
+		}
+		if !wantPrimary && (hiWritten || !loWritten) {
+			t.Errorf("age %d should take the alternate path (hi=%v lo=%v)", a, hiWritten, loWritten)
+		}
+	}
+}
+
+func hiAt(a *field.Array) (int32, bool) {
+	if a.Len() == 0 {
+		return 0, false
+	}
+	v := a.AtFlat(0)
+	return v.Int32(), !v.IsZero()
+}
+
+// TestGCWithAdaptive combines garbage collection with adaptive granularity
+// over a long pipeline; results must stay correct and memory bounded.
+func TestGCWithAdaptive(t *testing.T) {
+	n, err := NewNode(mulSum(t), Options{Workers: 2, MaxAge: 200, GC: true, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stalled) != 0 {
+		t.Fatalf("stalled: %v", rep.Stalled)
+	}
+	if got := rep.Kernel("mul2").Instances; got != 5*201 {
+		t.Errorf("mul2 instances = %d", got)
+	}
+	// Old generations were collected: live memory is far below the
+	// 2 fields x 201 ages x 5 elements an uncollected run retains.
+	if rep.FieldMemElems > 200 {
+		t.Errorf("GC left %d elements live", rep.FieldMemElems)
+	}
+	// The generation beyond the age bound survives: its consumers
+	// (mul2/print at age 201) never ran, so GC must keep it.
+	m, _ := expectedMulSum(201)
+	last, _ := n.Snapshot("m_data", 201)
+	if !last.Equal(field.ArrayFromInt32(m[201])) {
+		t.Errorf("m_data(201) = %v, want %v", last, m[201])
+	}
+}
+
+// TestMergeReports verifies the aggregation used by distributed
+// repartitioning.
+func TestMergeReports(t *testing.T) {
+	a := &Report{Wall: time.Second, Kernels: []KernelStats{
+		{Name: "k", Instances: 5, KernelTotal: time.Millisecond, StoreOps: 5},
+	}}
+	b := &Report{Wall: 2 * time.Second, Stalled: []string{"x"}, Kernels: []KernelStats{
+		{Name: "k", Instances: 7, KernelTotal: 3 * time.Millisecond, StoreOps: 7},
+		{Name: "j", Instances: 1},
+	}}
+	m := MergeReports(a, nil, b)
+	if m.Wall != 2*time.Second {
+		t.Errorf("wall %v", m.Wall)
+	}
+	if k := m.Kernel("k"); k.Instances != 12 || k.KernelTotal != 4*time.Millisecond || k.StoreOps != 12 {
+		t.Errorf("merged k = %+v", k)
+	}
+	if m.Kernel("j").Instances != 1 || len(m.Stalled) != 1 {
+		t.Error("merge shape")
+	}
+}
+
+// TestStatementStringsWithSlab covers the All coordinate rendering.
+func TestStatementStringsWithSlab(t *testing.T) {
+	f := core.FetchStmt{Local: "blk", Field: "frames", Age: core.AgeVar(0),
+		Index: []core.IndexSpec{core.Idx("b"), core.All()}}
+	if got := f.String(); got != "fetch blk = frames(a)[b][];" {
+		t.Errorf("slab fetch string %q", got)
+	}
+	if !f.Slab() || f.SlabRank() != 1 || f.Whole() {
+		t.Error("slab classification")
+	}
+	if !strings.Contains(f.String(), "[]") {
+		t.Error("slab rendering")
+	}
+}

@@ -1,0 +1,483 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deadline"
+	"repro/internal/field"
+)
+
+// Options configures an execution node.
+type Options struct {
+	// Workers is the number of worker goroutines dispatching kernel
+	// instances; the dependency analyzer always runs in its own goroutine
+	// on top of these, mirroring the paper's dedicated analyzer thread.
+	// Zero selects 1.
+	Workers int
+	// MaxAge bounds execution: no kernel instance with age > MaxAge is
+	// dispatched. Zero or negative means unbounded. Programs with no
+	// termination condition (the paper's mul/sum example "runs
+	// indefinitely") need a bound.
+	MaxAge int
+	// KernelMaxAge bounds individual kernels: no instance of the named
+	// kernel runs at an age beyond its bound. This is the scheduler-level
+	// "break-point" the paper introduces to stop K-means after a fixed
+	// number of iterations (§VIII-B).
+	KernelMaxAge map[string]int
+	// Granularity sets the initial data-granularity (instances combined
+	// per dispatch) per kernel name; unlisted kernels use 1, the finest
+	// granularity, as the paper encourages programmers to express.
+	Granularity map[string]int
+	// Adaptive lets the low-level scheduler coarsen granularity at runtime
+	// when dispatch overhead is not dominated by kernel time (§V-A).
+	Adaptive bool
+	// GC enables garbage collection of field generations whose consumers
+	// have all completed (§IX).
+	GC bool
+	// Output receives kernel Printf output (the kernel language's cout).
+	Output io.Writer
+	// Clock drives deadline timers; nil selects the real clock.
+	Clock deadline.Clock
+	// EventBuffer sizes the analyzer's event channel; zero selects 4096.
+	EventBuffer int
+
+	// RemoteKernels marks kernels of the program that execute on other
+	// nodes of a distributed deployment: the local analyzer creates no
+	// instances for them, but accounts for their completions — injected
+	// with InjectRemoteDone — when deciding field completeness.
+	RemoteKernels map[string]bool
+	// NoAutoQuiesce keeps the node running when it has no local work, so
+	// remote events can still arrive; the node then stops only on Stop().
+	// Required (and only meaningful) for distributed operation.
+	NoAutoQuiesce bool
+	// OnStore, when set, observes every successful local store with its
+	// data — the publish half of the distributed pub-sub layer. It is
+	// called from worker goroutines.
+	OnStore func(StoreNotice)
+	// OnKernelDone, when set, observes every completed local kernel-age —
+	// the producer-done notifications remote nodes need for completeness.
+	// It is called from the analyzer goroutine.
+	OnKernelDone func(kernel string, age int)
+}
+
+// StoreNotice describes one store operation for distribution to peers.
+type StoreNotice struct {
+	Field string
+	Age   int
+	// Elem is the element coordinates for an element store; nil with
+	// Whole set for a whole-field store.
+	Elem  []int
+	Whole bool
+	// Value carries the element value, or the whole array (as an array
+	// value) for whole-field stores.
+	Value field.Value
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.MaxAge <= 0 {
+		o.MaxAge = math.MaxInt
+	}
+	if o.EventBuffer <= 0 {
+		o.EventBuffer = 4096
+	}
+	return o
+}
+
+// Node is a single P2G execution node: program state, fields, the dependency
+// analyzer and a worker pool. Create one with NewNode, execute with Run, then
+// inspect fields and instrumentation.
+type Node struct {
+	prog *core.Program
+	opts Options
+
+	fields  map[string]*fieldState
+	kernels map[string]*kernelState
+	order   []*kernelState
+
+	timers *deadline.TimerSet
+	queue  *readyQueue
+	events chan event
+	out    *lockedWriter
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	// injectMu guards the events channel against sends racing its close
+	// during shutdown (InjectStore and friends run on caller goroutines).
+	injectMu     sync.RWMutex
+	eventsClosed bool
+
+	outstandingMirror atomic.Int64
+
+	errMu  sync.Mutex
+	runErr error
+
+	report *Report
+}
+
+// lockedWriter serializes kernel Printf output from concurrent workers.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	if lw.w == nil {
+		return len(p), nil
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// NewNode validates the program and builds the node's static plan: field
+// states with producer/consumer edges and kernel states with index-variable
+// range bindings.
+func NewNode(p *core.Program, opts Options) (*Node, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	n := &Node{
+		prog:    p,
+		opts:    opts,
+		fields:  make(map[string]*fieldState, len(p.Fields)),
+		kernels: make(map[string]*kernelState, len(p.Kernels)),
+		timers:  deadline.NewTimerSet(opts.Clock, p.Timers...),
+		queue:   newReadyQueue(),
+		events:  make(chan event, opts.EventBuffer),
+		out:     &lockedWriter{w: opts.Output},
+	}
+	for _, fd := range p.Fields {
+		n.fields[fd.Name] = &fieldState{
+			decl: fd,
+			f:    field.New(fd.Name, fd.Kind, fd.Rank, fd.Aged),
+			ages: make(map[int]*fieldAgeState),
+		}
+	}
+	for name := range opts.RemoteKernels {
+		if p.Kernel(name) == nil {
+			return nil, fmt.Errorf("p2g: remote kernel %q is not part of the program", name)
+		}
+	}
+	if opts.GC && len(opts.RemoteKernels) > 0 {
+		return nil, fmt.Errorf("p2g: field garbage collection cannot be combined with remote kernels (remote consumers are invisible to the local GC)")
+	}
+	for _, kd := range p.Kernels {
+		ks := &kernelState{decl: kd, ages: make(map[int]*ageTracker), gran: 1, remote: opts.RemoteKernels[kd.Name]}
+		if g, ok := opts.Granularity[kd.Name]; ok && g > 0 {
+			ks.gran = g
+		}
+		if len(kd.Fetches) > 32 {
+			return nil, fmt.Errorf("p2g: kernel %q has %d fetches; the runtime supports at most 32", kd.Name, len(kd.Fetches))
+		}
+		ks.fullMask = uint32(1)<<uint(len(kd.Fetches)) - 1
+		n.kernels[kd.Name] = ks
+		n.order = append(n.order, ks)
+	}
+	// Edges and range bindings.
+	for _, ks := range n.order {
+		kd := ks.decl
+		ks.binds = make([]varBind, len(kd.IndexVars))
+		boundVars := make(map[string]bool, len(kd.IndexVars))
+		for i := range kd.Fetches {
+			fe := &kd.Fetches[i]
+			fs := n.fields[fe.Field]
+			fs.consumers = append(fs.consumers, consEdge{ks: ks, fetch: fe, fetchBit: uint32(1) << uint(i)})
+			if fe.Age.HasVar {
+				fs.agedConsumers++
+			} else {
+				fs.absConsumers++
+			}
+			for d, spec := range fe.Index {
+				if spec.Kind != core.IndexVarKind || spec.Off != 0 || boundVars[spec.Var] {
+					continue
+				}
+				boundVars[spec.Var] = true
+				vi := varIndex(kd.IndexVars, spec.Var)
+				ks.binds[vi] = varBind{fs: fs, dim: d, age: fe.Age}
+				fs.rangeOf = append(fs.rangeOf, rangeEdge{ks: ks, varIdx: vi, dim: d, age: fe.Age})
+			}
+		}
+		for i := range kd.Stores {
+			ss := &kd.Stores[i]
+			fs := n.fields[ss.Field]
+			fs.producers = append(fs.producers, prodEdge{ks: ks, store: ss})
+		}
+	}
+	return n, nil
+}
+
+// Run executes the program to quiescence and returns the instrumentation
+// report. Run may be called once per node.
+func (n *Node) Run() (*Report, error) {
+	start := time.Now()
+	for i := 0; i < n.opts.Workers; i++ {
+		n.wg.Add(1)
+		go n.worker()
+	}
+	an := newAnalyzer(n)
+	an.run()
+	n.wg.Wait()
+	n.report = n.buildReport(time.Since(start), an)
+	return n.report, n.runErr
+}
+
+// Run builds a node and executes the program in one call.
+func Run(p *core.Program, opts Options) (*Report, error) {
+	n, err := NewNode(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return n.Run()
+}
+
+// closeEventsWhenWorkersExit arranges for the event channel to close once all
+// workers have stopped, letting the analyzer drain without deadlock.
+func (n *Node) closeEventsWhenWorkersExit() {
+	n.closeOnce.Do(func() {
+		go func() {
+			n.wg.Wait()
+			n.injectMu.Lock()
+			n.eventsClosed = true
+			close(n.events)
+			n.injectMu.Unlock()
+		}()
+	})
+}
+
+// inject delivers an externally produced event unless the node has shut
+// down. It reports whether the event was accepted.
+func (n *Node) inject(ev event) bool {
+	n.injectMu.RLock()
+	defer n.injectMu.RUnlock()
+	if n.eventsClosed {
+		return false
+	}
+	n.events <- ev
+	return true
+}
+
+// InjectStore applies a store received from a remote node: the value is
+// written to the local field replica and the analyzer is notified exactly as
+// for a local store.
+func (n *Node) InjectStore(sn StoreNotice) error {
+	fs, ok := n.fields[sn.Field]
+	if !ok {
+		return fmt.Errorf("p2g: remote store to unknown field %q", sn.Field)
+	}
+	var res field.StoreResult
+	var err error
+	if sn.Whole {
+		arr := sn.Value.Array()
+		if arr == nil {
+			return fmt.Errorf("p2g: remote whole-field store to %q without array payload", sn.Field)
+		}
+		res, err = fs.f.StoreAll(sn.Age, arr)
+	} else {
+		res, err = fs.f.Store(sn.Age, sn.Value, sn.Elem...)
+	}
+	if err != nil {
+		return err
+	}
+	n.inject(event{fs: fs, age: sn.Age, elem: sn.Elem, whole: sn.Whole, grew: res.Grew, extents: res.Extents})
+	return nil
+}
+
+// InjectRemoteDone records that a remote kernel finished all instances of
+// one age; its stores' target generations count the producer as done.
+func (n *Node) InjectRemoteDone(kernel string, age int) error {
+	ks, ok := n.kernels[kernel]
+	if !ok {
+		return fmt.Errorf("p2g: remote done for unknown kernel %q", kernel)
+	}
+	n.inject(event{remoteDone: ks, age: age})
+	return nil
+}
+
+// Stop ends a NoAutoQuiesce node: the analyzer shuts down after draining
+// in-flight work.
+func (n *Node) Stop() {
+	n.inject(event{stop: true})
+}
+
+// Idle reports whether the node currently has no dispatched instances and no
+// backlogged events. Distributed masters poll this (twice, with stable event
+// counts) to detect global quiescence.
+func (n *Node) Idle() bool {
+	return n.outstandingMirror.Load() == 0 && len(n.events) == 0
+}
+
+func (n *Node) fail(err error) {
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	if n.runErr == nil {
+		n.runErr = err
+	}
+}
+
+func (n *Node) failed() bool {
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	return n.runErr != nil
+}
+
+// kernelMaxAge returns the per-kernel age bound, or MaxAge when none is set.
+func (n *Node) kernelMaxAge(ks *kernelState) int {
+	if a, ok := n.opts.KernelMaxAge[ks.decl.Name]; ok {
+		return a
+	}
+	return n.opts.MaxAge
+}
+
+// Timers exposes the node's deadline timers.
+func (n *Node) Timers() *deadline.TimerSet { return n.timers }
+
+// Snapshot returns a copy of a field generation after (or during) a run.
+func (n *Node) Snapshot(fieldName string, age int) (*field.Array, error) {
+	fs, ok := n.fields[fieldName]
+	if !ok {
+		return nil, fmt.Errorf("p2g: unknown field %q", fieldName)
+	}
+	return fs.f.Snapshot(age), nil
+}
+
+// FieldMemoryElems reports the total allocated field elements across live
+// generations; used by the garbage-collection tests and report.
+func (n *Node) FieldMemoryElems() int {
+	total := 0
+	for _, fs := range n.fields {
+		total += fs.f.MemoryElems()
+	}
+	return total
+}
+
+// worker is one worker goroutine: it pops batches oldest-age-first and
+// executes each instance, emitting store and done events to the analyzer.
+func (n *Node) worker() {
+	defer n.wg.Done()
+	for {
+		b, ok := n.queue.Pop()
+		if !ok {
+			return
+		}
+		for _, is := range b.insts {
+			n.exec(b.tracker, is)
+		}
+	}
+}
+
+// exec runs one kernel instance: build the context, perform fetches, run the
+// body, apply stores, emit events. Dispatch time (everything but the body)
+// and kernel time (the body) feed the Table II/III instrumentation.
+func (n *Node) exec(t *ageTracker, is *instState) {
+	ks := t.ks
+	kd := ks.decl
+	t0 := time.Now()
+
+	var idxMap map[string]int
+	if len(kd.IndexVars) > 0 {
+		idxMap = make(map[string]int, len(kd.IndexVars))
+		for i, v := range kd.IndexVars {
+			idxMap[v] = is.coords[i]
+		}
+	}
+	ctx := core.NewCtx(kd, t.age, idxMap, n.timers, n.out)
+	for i := range kd.Fetches {
+		fe := &kd.Fetches[i]
+		g := fe.Age.Eval(t.age)
+		fs := n.fields[fe.Field]
+		if fe.Whole() {
+			ctx.BindFetched(fe.Local, field.ArrayVal(fs.f.Snapshot(g)))
+		} else if fe.Slab() {
+			sel := make([]field.SlabDim, len(fe.Index))
+			for d, spec := range fe.Index {
+				if spec.Kind == core.IndexAllKind {
+					continue // zero value selects the whole dimension
+				}
+				sel[d] = field.SlabDim{Fixed: true, Index: spec.Eval(idxMap)}
+			}
+			ctx.BindFetched(fe.Local, field.ArrayVal(fs.f.Slab(g, sel)))
+		} else {
+			idx := evalIndex(fe.Index, kd.IndexVars, is.coords)
+			v, ok := fs.f.At(g, idx...)
+			if !ok {
+				n.fail(fmt.Errorf("p2g: internal error: %s dispatched before %s(%d)%v was written", kd.Name, fe.Field, g, idx))
+				n.events <- event{isDone: true, t: t, inst: is}
+				return
+			}
+			ctx.BindFetched(fe.Local, v)
+		}
+	}
+
+	t1 := time.Now()
+	err := n.runBody(kd, ctx)
+	t2 := time.Now()
+
+	stores := 0
+	if err != nil {
+		n.fail(fmt.Errorf("p2g: kernel %s(age=%d): %w", kd.Name, t.age, err))
+	} else {
+		for i := range kd.Stores {
+			ss := &kd.Stores[i]
+			if !ctx.Bound(ss.Local) {
+				continue
+			}
+			g := ss.Age.Eval(t.age)
+			fs := n.fields[ss.Field]
+			var res field.StoreResult
+			var serr error
+			var elem []int
+			if ss.Whole() {
+				res, serr = fs.f.StoreAll(g, ctx.Get(ss.Local).Array())
+			} else {
+				elem = evalIndex(ss.Index, kd.IndexVars, is.coords)
+				res, serr = fs.f.Store(g, ctx.Get(ss.Local), elem...)
+			}
+			if serr != nil {
+				n.fail(fmt.Errorf("p2g: kernel %s(age=%d): %w", kd.Name, t.age, serr))
+				break
+			}
+			stores++
+			if n.opts.OnStore != nil {
+				val := ctx.Get(ss.Local)
+				if ss.Whole() {
+					val = field.ArrayVal(val.Array().Clone())
+				}
+				n.opts.OnStore(StoreNotice{Field: ss.Field, Age: g, Elem: elem, Whole: ss.Whole(), Value: val})
+			}
+			n.events <- event{fs: fs, age: g, elem: elem, whole: ss.Whole(), grew: res.Grew, extents: res.Extents}
+		}
+	}
+	t3 := time.Now()
+
+	ks.instances.Add(1)
+	ks.dispatchNs.Add(int64(t1.Sub(t0) + t3.Sub(t2)))
+	ks.kernelNs.Add(int64(t2.Sub(t1)))
+	ks.storeOps.Add(int64(stores))
+
+	n.events <- event{isDone: true, t: t, inst: is, stores: stores, stopped: ctx.Stopped()}
+}
+
+// runBody executes the kernel body, converting panics into errors so a buggy
+// kernel fails the run instead of crashing the node.
+func (n *Node) runBody(kd *core.KernelDecl, ctx *core.Ctx) (err error) {
+	if kd.Body == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return kd.Body(ctx)
+}

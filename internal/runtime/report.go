@@ -1,0 +1,133 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// KernelStats holds per-kernel instrumentation: the number of instances
+// dispatched, total dispatch overhead (context construction, fetches, store
+// application and event emission) and total time in kernel code. These are
+// the three columns of the paper's Tables II and III.
+type KernelStats struct {
+	Name          string
+	Instances     int64
+	DispatchTotal time.Duration
+	KernelTotal   time.Duration
+	// StoreOps counts store statements that actually fired; with the
+	// per-instance done event they make up the analyzer's event load.
+	StoreOps int64
+}
+
+// DispatchPer returns the mean dispatch overhead per instance.
+func (s KernelStats) DispatchPer() time.Duration {
+	if s.Instances == 0 {
+		return 0
+	}
+	return s.DispatchTotal / time.Duration(s.Instances)
+}
+
+// KernelPer returns the mean kernel-code time per instance.
+func (s KernelStats) KernelPer() time.Duration {
+	if s.Instances == 0 {
+		return 0
+	}
+	return s.KernelTotal / time.Duration(s.Instances)
+}
+
+// Report summarizes one run of an execution node.
+type Report struct {
+	// Wall is the end-to-end running time (what figures 9 and 10 plot).
+	Wall time.Duration
+	// Kernels lists per-kernel instrumentation in declaration order.
+	Kernels []KernelStats
+	// Stalled lists kernel-ages that never completed; non-empty means the
+	// program quiesced with unsatisfied dependencies.
+	Stalled []string
+	// FieldMemElems is the number of field element slots still allocated
+	// at the end of the run (after garbage collection, if enabled).
+	FieldMemElems int
+}
+
+func (n *Node) buildReport(wall time.Duration, an *analyzer) *Report {
+	r := &Report{Wall: wall, FieldMemElems: n.FieldMemoryElems()}
+	for _, ks := range n.order {
+		r.Kernels = append(r.Kernels, KernelStats{
+			Name:          ks.decl.Name,
+			Instances:     ks.instances.Load(),
+			DispatchTotal: time.Duration(ks.dispatchNs.Load()),
+			KernelTotal:   time.Duration(ks.kernelNs.Load()),
+			StoreOps:      ks.storeOps.Load(),
+		})
+	}
+	if !n.failed() {
+		r.Stalled = an.stalled()
+	}
+	return r
+}
+
+// MergeReports combines per-node reports into one aggregate: instance counts
+// and times sum per kernel, wall time takes the maximum. Used by the
+// distributed master to feed a whole-cluster profile back into
+// repartitioning.
+func MergeReports(reports ...*Report) *Report {
+	merged := &Report{}
+	idx := map[string]int{}
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		if r.Wall > merged.Wall {
+			merged.Wall = r.Wall
+		}
+		merged.Stalled = append(merged.Stalled, r.Stalled...)
+		for _, k := range r.Kernels {
+			i, ok := idx[k.Name]
+			if !ok {
+				idx[k.Name] = len(merged.Kernels)
+				merged.Kernels = append(merged.Kernels, k)
+				continue
+			}
+			m := &merged.Kernels[i]
+			m.Instances += k.Instances
+			m.DispatchTotal += k.DispatchTotal
+			m.KernelTotal += k.KernelTotal
+			m.StoreOps += k.StoreOps
+		}
+	}
+	return merged
+}
+
+// Kernel returns the stats row for the named kernel, or a zero row.
+func (r *Report) Kernel(name string) KernelStats {
+	for _, k := range r.Kernels {
+		if k.Name == name {
+			return k
+		}
+	}
+	return KernelStats{}
+}
+
+// TotalInstances sums dispatched instances across kernels.
+func (r *Report) TotalInstances() int64 {
+	var t int64
+	for _, k := range r.Kernels {
+		t += k.Instances
+	}
+	return t
+}
+
+// Table renders the report in the layout of the paper's micro-benchmark
+// tables: kernel, instances, mean dispatch time, mean kernel time.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %16s %16s\n", "Kernel", "Instances", "Dispatch Time", "Kernel Time")
+	for _, k := range r.Kernels {
+		fmt.Fprintf(&b, "%-16s %10d %13.2f µs %13.2f µs\n",
+			k.Name, k.Instances,
+			float64(k.DispatchPer())/1e3,
+			float64(k.KernelPer())/1e3)
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/field"
+)
+
+// TestSlabFetch exercises the paper's "kernels fetch slices of fields":
+// a rank-2 field of per-block pixels, with one kernel instance per block
+// fetching its 64-pixel row as a slab.
+func TestSlabFetch(t *testing.T) {
+	const blocks, px = 6, 8
+	b := core.NewBuilder("slab")
+	b.Field("pixels", field.Int32, 2, true)
+	b.Field("sums", field.Int32, 1, true)
+
+	b.Kernel("src").Age("a").
+		Local("frame", field.Int32, 2).
+		StoreAll("pixels", core.AgeVar(0), "frame").
+		Body(func(c *core.Ctx) error {
+			if c.Age() >= 3 {
+				return nil
+			}
+			fr := c.Array("frame")
+			for bl := 0; bl < blocks; bl++ {
+				for p := 0; p < px; p++ {
+					fr.Put(field.Int32Val(int32(c.Age()*1000+bl*10+p)), bl, p)
+				}
+			}
+			return nil
+		})
+
+	b.Kernel("sum").Age("a").Index("b").
+		Local("blk", field.Int32, 1).
+		Local("s", field.Int32, 0).
+		Fetch("blk", "pixels", core.AgeVar(0), core.Idx("b"), core.All()).
+		Store("sums", core.AgeVar(0), []core.IndexSpec{core.Idx("b")}, "s").
+		Body(func(c *core.Ctx) error {
+			blk := c.Array("blk")
+			if blk.Rank() != 1 || blk.Extent(0) != px {
+				t.Errorf("slab shape: rank %d extent %d", blk.Rank(), blk.Extent(0))
+			}
+			var sum int32
+			for i := 0; i < blk.Extent(0); i++ {
+				sum += blk.At(i).Int32()
+			}
+			c.SetInt32("s", sum)
+			return nil
+		})
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(p, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Kernel("sum").Instances; got != 3*blocks {
+		t.Errorf("sum instances = %d, want %d (one per block per age)", got, 3*blocks)
+	}
+	for a := 0; a < 3; a++ {
+		s, _ := n.Snapshot("sums", a)
+		for bl := 0; bl < blocks; bl++ {
+			var want int32
+			for p := 0; p < px; p++ {
+				want += int32(a*1000 + bl*10 + p)
+			}
+			if got := s.At(bl).Int32(); got != want {
+				t.Errorf("sums(%d)[%d] = %d, want %d", a, bl, got, want)
+			}
+		}
+	}
+}
+
+func TestSlabInStoreRejected(t *testing.T) {
+	b := core.NewBuilder("bad")
+	b.Field("f", field.Int32, 2, true)
+	b.Kernel("k").Age("a").Index("x").
+		Local("v", field.Int32, 0).
+		Local("row", field.Int32, 1).
+		Fetch("v", "f", core.AgeVar(0), core.Idx("x"), core.Lit(0)).
+		Store("f", core.AgeVar(1), []core.IndexSpec{core.Idx("x"), core.All()}, "row").
+		Body(nil)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("slab store should be rejected")
+	}
+}
+
+func TestSlabRankMismatchRejected(t *testing.T) {
+	b := core.NewBuilder("bad")
+	b.Field("f", field.Int32, 2, true)
+	b.Kernel("k").Age("a").Index("x").
+		Local("v", field.Int32, 0). // scalar local for a rank-1 slab
+		Fetch("v", "f", core.AgeVar(0), core.Idx("x"), core.All()).
+		Body(nil)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("slab fetch into scalar local should be rejected")
+	}
+}
+
+func TestFieldSlab(t *testing.T) {
+	f := field.New("m", field.Int32, 2, true)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if _, err := f.Store(0, field.Int32Val(int32(i*10+j)), i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	row := f.Slab(0, []field.SlabDim{{Fixed: true, Index: 1}, {}})
+	if row.Rank() != 1 || row.Extent(0) != 4 || row.At(2).Int32() != 12 {
+		t.Errorf("row slab %v", row)
+	}
+	col := f.Slab(0, []field.SlabDim{{}, {Fixed: true, Index: 3}})
+	if col.Extent(0) != 3 || col.At(2).Int32() != 23 {
+		t.Errorf("col slab %v", col)
+	}
+	// Out-of-range fixed index yields an empty slab.
+	if f.Slab(0, []field.SlabDim{{Fixed: true, Index: 9}, {}}).Len() != 0 {
+		t.Error("out-of-range slab should be empty")
+	}
+	// Missing age yields empty.
+	if f.Slab(5, []field.SlabDim{{Fixed: true, Index: 0}, {}}).Len() != 0 {
+		t.Error("missing age slab should be empty")
+	}
+	// All dims fixed: single element delivered as extent-1... rank-0 is
+	// represented as an empty rank-1 array by convention.
+	one := f.Slab(0, []field.SlabDim{{Fixed: true, Index: 0}, {Fixed: true, Index: 0}})
+	if one.Len() != 0 {
+		t.Errorf("fully fixed slab: %v", one)
+	}
+}

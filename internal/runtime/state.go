@@ -1,0 +1,184 @@
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/field"
+)
+
+// instance states.
+const (
+	instWaiting uint8 = iota
+	instQueued
+	instRunning
+	instDone
+)
+
+// instState tracks one kernel instance: its index-variable values, which
+// fetches are satisfied (a bitmask) and its lifecycle state. An instance is
+// dispatched exactly once, when its mask is full.
+type instState struct {
+	coords []int
+	mask   uint32
+	st     uint8
+}
+
+// coordKey packs index-variable values into a map key. Extents are limited to
+// 16 bits per dimension and four dimensions, which comfortably covers the
+// paper's workloads (the largest domain is 1584 macroblocks, rank 1).
+func coordKey(coords []int) int64 {
+	var k int64
+	for _, c := range coords {
+		k = k<<16 | int64(c&0xffff)
+	}
+	return k
+}
+
+// varBind records where an index variable gets its range: dimension dim of
+// field fs at the age given by age (evaluated per tracker age).
+type varBind struct {
+	fs  *fieldState
+	dim int
+	age core.AgeExpr
+}
+
+// kernelState is the per-kernel runtime state: the static plan derived from
+// the declaration plus per-age trackers and instrumentation counters.
+type kernelState struct {
+	decl  *core.KernelDecl
+	binds []varBind // one per index variable, in declaration order
+
+	fullMask uint32 // bits of all fetches (the "fully satisfied" mask)
+
+	ages map[int]*ageTracker
+
+	gran int // instances per dispatch batch (data-granularity coarsening)
+
+	// remote marks a kernel executed on another node: no local instances,
+	// completions arrive via InjectRemoteDone.
+	remote bool
+
+	sourceStopped bool
+
+	// Instrumentation (Table II/III): instance count, per-instance
+	// dispatch overhead and kernel-code time, in nanoseconds.
+	instances  atomic.Int64
+	dispatchNs atomic.Int64
+	kernelNs   atomic.Int64
+	storeOps   atomic.Int64
+}
+
+// ageTracker tracks all instances of one kernel at one age: the current index
+// domain, instance satisfaction, and completion.
+type ageTracker struct {
+	ks  *kernelState
+	age int
+
+	extents     []int // current range per index variable
+	bindsDone   int   // range-defining (field, age) pairs that are complete
+	domainFinal bool
+
+	inst    map[int64]*instState
+	total   int
+	done    int
+	pending []*instState // ready instances not yet flushed into a batch
+
+	completed bool
+}
+
+// fieldState is the per-field runtime state: the backing store plus the
+// static producer/consumer edges and per-age completeness accounting.
+type fieldState struct {
+	decl *core.FieldDecl
+	f    *field.Field
+
+	producers []prodEdge
+	consumers []consEdge
+	// rangeOf lists the kernels (and which of their index variables) whose
+	// domain is defined by this field's extents.
+	rangeOf []rangeEdge
+
+	ages map[int]*fieldAgeState
+
+	// agedConsumers counts consumer edges with age-variable fetches; used
+	// by garbage collection (an age is collectable when that many consumer
+	// kernel-ages have completed). Fields with absolute-age consumers are
+	// never collected (every future age may read them).
+	agedConsumers int
+	absConsumers  int
+}
+
+type prodEdge struct {
+	ks    *kernelState
+	store *core.StoreStmt
+}
+
+type consEdge struct {
+	ks       *kernelState
+	fetch    *core.FetchStmt
+	fetchBit uint32
+}
+
+type rangeEdge struct {
+	ks     *kernelState
+	varIdx int
+	dim    int
+	age    core.AgeExpr
+}
+
+// fieldAgeState tracks completeness of one field generation.
+type fieldAgeState struct {
+	expected      int // producer kernel-ages that must complete
+	producersDone int
+	complete      bool
+	consumersDone int
+	collected     bool
+}
+
+func (t *ageTracker) String() string {
+	return fmt.Sprintf("%s(age=%d, %d/%d done, domainFinal=%v)", t.ks.decl.Name, t.age, t.done, t.total, t.domainFinal)
+}
+
+// newCells visits every coordinate in box(to) that is not in box(from). The
+// boxes share an origin; from must be component-wise <= to. Rank 0 (a single
+// instance with no index variables) is treated as one cell that exists once
+// the tracker is created, handled by the caller.
+func newCells(from, to []int, visit func([]int)) {
+	rank := len(to)
+	coords := make([]int, rank)
+	var rec func(d, firstGrown int)
+	rec = func(d, firstGrown int) {
+		if d == rank {
+			if firstGrown >= 0 { // cells inside the old box are not new
+				visit(coords)
+			}
+			return
+		}
+		// Decomposition: a cell is new iff there is a first dimension d
+		// where its coordinate is >= from[d]; before d coordinates are
+		// < from, after d they range over the full new extent.
+		if firstGrown >= 0 {
+			for c := 0; c < to[d]; c++ {
+				coords[d] = c
+				rec(d+1, firstGrown)
+			}
+			return
+		}
+		// Not yet past a grown dimension: either stay below from[d] and
+		// recurse, or enter the grown band [from[d], to[d]).
+		for c := 0; c < from[d]; c++ {
+			coords[d] = c
+			rec(d+1, -1)
+		}
+		for c := from[d]; c < to[d]; c++ {
+			coords[d] = c
+			rec(d+1, d)
+		}
+	}
+	if rank == 0 {
+		return
+	}
+	rec(0, -1)
+}

@@ -1,0 +1,293 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/runtime"
+)
+
+// Assignment maps each kernel (by index into the final graph's node list) to
+// an execution-node index.
+type Assignment []int
+
+// Method selects the partitioning algorithm.
+type Method uint8
+
+// Partitioning methods. Greedy is a capacity-proportional first fit;
+// KL refines an initial partition with Kernighan–Lin-style moves; Tabu runs
+// a tabu search over single-kernel moves (Glover [14]).
+const (
+	Greedy Method = iota
+	KL
+	Tabu
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Greedy:
+		return "greedy"
+	case KL:
+		return "kl"
+	case Tabu:
+		return "tabu"
+	}
+	return fmt.Sprintf("method(%d)", uint8(m))
+}
+
+// Cost evaluates an assignment: Cut is the total weight of edges crossing
+// node boundaries divided by link bandwidth; Imbalance is the ratio of the
+// most-loaded node's normalized load to the average. Total is the scalar
+// objective the optimizers minimize.
+type Cost struct {
+	Cut       float64
+	Imbalance float64
+	Total     float64
+}
+
+// imbalancePenalty scales how strongly load imbalance is punished relative
+// to cut weight in the scalar objective. The penalty term is multiplied by
+// the graph's total normalized compute so that it stays commensurate with
+// cut weights whether the graph carries unit weights or nanosecond-scale
+// instrumentation data.
+const imbalancePenalty = 10
+
+// Evaluate computes the cost of an assignment.
+func Evaluate(g *graph.Final, topo Topology, a Assignment) Cost {
+	idx := nodeIndex(g)
+	var cut float64
+	for _, e := range g.Edges {
+		if a[idx[e.From]] != a[idx[e.To]] {
+			cut += e.Weight
+		}
+	}
+	cut /= topo.bandwidth()
+
+	loads := make([]float64, len(topo.Nodes))
+	var totalWeight float64
+	for i, n := range g.Nodes {
+		loads[a[i]] += n.Weight
+		totalWeight += n.Weight
+	}
+	var maxLoad, total float64
+	for i, l := range loads {
+		norm := l / topo.Nodes[i].Capacity()
+		total += norm
+		if norm > maxLoad {
+			maxLoad = norm
+		}
+	}
+	avg := total / float64(len(topo.Nodes))
+	imb := 1.0
+	if avg > 0 {
+		imb = maxLoad / avg
+	}
+	scale := totalWeight / topo.TotalCapacity()
+	return Cost{Cut: cut, Imbalance: imb, Total: cut + imbalancePenalty*(imb-1)*scale}
+}
+
+func nodeIndex(g *graph.Final) map[string]int {
+	idx := make(map[string]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		idx[n.Name] = i
+	}
+	return idx
+}
+
+// Partition assigns the final graph's kernels to the topology's execution
+// nodes using the chosen method and returns the assignment with its cost.
+func Partition(g *graph.Final, topo Topology, m Method) (Assignment, Cost, error) {
+	if len(topo.Nodes) == 0 {
+		return nil, Cost{}, fmt.Errorf("sched: empty topology")
+	}
+	if len(g.Nodes) == 0 {
+		return nil, Cost{}, fmt.Errorf("sched: empty graph")
+	}
+	a := greedy(g, topo)
+	switch m {
+	case Greedy:
+	case KL:
+		a = klRefine(g, topo, a)
+	case Tabu:
+		a = tabuSearch(g, topo, a)
+	default:
+		return nil, Cost{}, fmt.Errorf("sched: unknown method %v", m)
+	}
+	return a, Evaluate(g, topo, a), nil
+}
+
+// greedy assigns kernels in descending weight order to the node with the
+// lowest normalized load, breaking ties toward the node holding the most
+// strongly connected already-placed neighbors.
+func greedy(g *graph.Final, topo Topology) Assignment {
+	idx := nodeIndex(g)
+	order := make([]int, len(g.Nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return g.Nodes[order[x]].Weight > g.Nodes[order[y]].Weight
+	})
+	a := make(Assignment, len(g.Nodes))
+	for i := range a {
+		a[i] = -1
+	}
+	loads := make([]float64, len(topo.Nodes))
+
+	affinity := func(k, node int) float64 {
+		var s float64
+		for _, e := range g.Edges {
+			f, t := idx[e.From], idx[e.To]
+			if f == k && a[t] == node {
+				s += e.Weight
+			}
+			if t == k && a[f] == node {
+				s += e.Weight
+			}
+		}
+		return s
+	}
+
+	for _, k := range order {
+		best, bestScore := 0, math.Inf(-1)
+		for n := range topo.Nodes {
+			// Prefer low load; affinity breaks near-ties so pipelines
+			// stay together when balance permits.
+			load := (loads[n] + g.Nodes[k].Weight) / topo.Nodes[n].Capacity()
+			score := -load + affinity(k, n)/(1+load)
+			if score > bestScore {
+				best, bestScore = n, score
+			}
+		}
+		a[k] = best
+		loads[best] += g.Nodes[k].Weight
+	}
+	return a
+}
+
+// klRefine performs Kernighan–Lin-style refinement generalized to k
+// partitions: repeated passes over all kernels, moving each to the node that
+// most reduces total cost, until a pass makes no improvement.
+func klRefine(g *graph.Final, topo Topology, a Assignment) Assignment {
+	a = append(Assignment(nil), a...)
+	cur := Evaluate(g, topo, a).Total
+	for pass := 0; pass < 32; pass++ {
+		improved := false
+		for k := range g.Nodes {
+			orig := a[k]
+			bestNode, bestCost := orig, cur
+			for n := range topo.Nodes {
+				if n == orig {
+					continue
+				}
+				a[k] = n
+				if c := Evaluate(g, topo, a).Total; c < bestCost-1e-12 {
+					bestNode, bestCost = n, c
+				}
+			}
+			a[k] = bestNode
+			if bestNode != orig {
+				cur = bestCost
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return a
+}
+
+// tabuSearch explores single-kernel moves with a tabu list of recently moved
+// kernels, accepting the best non-tabu move each step even when it worsens
+// the objective (escaping local minima), and keeps the best assignment seen.
+func tabuSearch(g *graph.Final, topo Topology, a Assignment) Assignment {
+	a = append(Assignment(nil), a...)
+	best := append(Assignment(nil), a...)
+	bestCost := Evaluate(g, topo, a).Total
+	tabu := make([]int, len(g.Nodes)) // iteration until which kernel k is tabu
+	tenure := 4 + len(g.Nodes)/4
+	steps := 50 + 10*len(g.Nodes)
+	for it := 0; it < steps; it++ {
+		moveK, moveN := -1, -1
+		moveCost := math.Inf(1)
+		for k := range g.Nodes {
+			orig := a[k]
+			for n := range topo.Nodes {
+				if n == orig {
+					continue
+				}
+				a[k] = n
+				c := Evaluate(g, topo, a).Total
+				a[k] = orig
+				// Aspiration: tabu moves are allowed when they beat the
+				// global best.
+				if tabu[k] > it && c >= bestCost {
+					continue
+				}
+				if c < moveCost {
+					moveK, moveN, moveCost = k, n, c
+				}
+			}
+		}
+		if moveK < 0 {
+			break
+		}
+		a[moveK] = moveN
+		tabu[moveK] = it + tenure
+		if moveCost < bestCost {
+			bestCost = moveCost
+			copy(best, a)
+		}
+	}
+	return best
+}
+
+// ApplyInstrumentation weights the final graph with measured data: node
+// weights become total kernel time, edge weights the producing kernel's
+// instance count (a proxy for message volume), enabling the repartitioning
+// loop of §IV.
+func ApplyInstrumentation(g *graph.Final, rep *runtime.Report) {
+	nw := make(map[string]float64, len(rep.Kernels))
+	inst := make(map[string]float64, len(rep.Kernels))
+	for _, k := range rep.Kernels {
+		nw[k.Name] = float64(k.KernelTotal) + 1
+		inst[k.Name] = float64(k.Instances) + 1
+	}
+	g.SetNodeWeights(nw)
+	ew := make(map[string]float64, len(g.Edges))
+	for _, e := range g.Edges {
+		ew[e.Key()] = inst[e.From]
+	}
+	g.SetEdgeWeights(ew)
+}
+
+// Repartition evaluates whether a new assignment computed from measured
+// weights improves on the current one; it returns the better assignment and
+// whether it changed — the master's feedback loop.
+func Repartition(g *graph.Final, topo Topology, current Assignment, rep *runtime.Report, m Method) (Assignment, bool, error) {
+	ApplyInstrumentation(g, rep)
+	next, nextCost, err := Partition(g, topo, m)
+	if err != nil {
+		return current, false, err
+	}
+	if current != nil {
+		curCost := Evaluate(g, topo, current)
+		if curCost.Total <= nextCost.Total {
+			return current, false, nil
+		}
+	}
+	same := current != nil && len(current) == len(next)
+	if same {
+		for i := range next {
+			if next[i] != current[i] {
+				same = false
+				break
+			}
+		}
+	}
+	return next, !same, nil
+}

@@ -1,0 +1,208 @@
+// Package sift implements a simplified SIFT front-end — Gaussian scale
+// space, difference-of-Gaussians and scale-space extrema detection — the
+// second pipeline the paper's §III motivates ("prominent examples are the
+// computation-heavy MPEG-4 AVC encoding and SIFT pipelines. Both are also
+// examples of algorithms whose subsequent steps provide data decomposition
+// opportunities at different granularities and along different dimensions of
+// input data").
+//
+// The decomposition story is the point: the horizontal blur parallelizes per
+// row, the vertical blur per column, DoG per row again, and extrema
+// detection per interior row with neighbour access across rows and scales.
+// The P2G version (package workloads) maps each stage to kernels with
+// exactly those index domains; this package holds the shared math and the
+// sequential reference.
+package sift
+
+import "math"
+
+// Image is a grayscale image as rows of float64 samples.
+type Image [][]float64
+
+// NewImage allocates a h x w image.
+func NewImage(w, h int) Image {
+	img := make(Image, h)
+	for y := range img {
+		img[y] = make([]float64, w)
+	}
+	return img
+}
+
+// FromLuma converts a byte luma plane to an Image.
+func FromLuma(y []byte, w, h int) Image {
+	img := NewImage(w, h)
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			img[r][c] = float64(y[r*w+c])
+		}
+	}
+	return img
+}
+
+// Kernel returns a normalized 1-D Gaussian kernel for the given sigma; the
+// radius is ceil(3*sigma).
+func Kernel(sigma float64) []float64 {
+	if sigma <= 0 {
+		panic("sift: sigma must be positive")
+	}
+	radius := int(math.Ceil(3 * sigma))
+	k := make([]float64, 2*radius+1)
+	var sum float64
+	for i := range k {
+		d := float64(i - radius)
+		k[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += k[i]
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// BlurRow convolves one row with the kernel, clamping at the borders
+// (edge-replication). This is the work of one horizontal-blur kernel
+// instance.
+func BlurRow(row []float64, k []float64) []float64 {
+	w := len(row)
+	radius := len(k) / 2
+	out := make([]float64, w)
+	for x := 0; x < w; x++ {
+		var s float64
+		for i, kv := range k {
+			sx := x + i - radius
+			if sx < 0 {
+				sx = 0
+			}
+			if sx >= w {
+				sx = w - 1
+			}
+			s += row[sx] * kv
+		}
+		out[x] = s
+	}
+	return out
+}
+
+// Transpose flips rows and columns, letting the vertical pass reuse BlurRow
+// on columns — and letting the P2G version switch decomposition dimension
+// between stages.
+func Transpose(img Image) Image {
+	if len(img) == 0 {
+		return img
+	}
+	h, w := len(img), len(img[0])
+	out := NewImage(h, w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out[x][y] = img[y][x]
+		}
+	}
+	return out
+}
+
+// Blur applies a separable Gaussian blur (rows, transpose, rows, transpose).
+func Blur(img Image, sigma float64) Image {
+	k := Kernel(sigma)
+	hpass := make(Image, len(img))
+	for y := range img {
+		hpass[y] = BlurRow(img[y], k)
+	}
+	tr := Transpose(hpass)
+	for y := range tr {
+		tr[y] = BlurRow(tr[y], k)
+	}
+	return Transpose(tr)
+}
+
+// DoGRow subtracts two equally long rows (fine minus coarse) — one
+// difference-of-Gaussians kernel instance.
+func DoGRow(fine, coarse []float64) []float64 {
+	out := make([]float64, len(fine))
+	for i := range out {
+		out[i] = fine[i] - coarse[i]
+	}
+	return out
+}
+
+// Keypoint is a detected scale-space extremum.
+type Keypoint struct {
+	X, Y  int
+	Level int // DoG level the extremum was found in
+	Value float64
+}
+
+// ExtremaRow scans interior row y of DoG level lvl for local extrema: a
+// sample qualifies if |v| exceeds threshold and v is strictly the
+// maximum or minimum of its 3x3 neighbourhood in its own level and the 3x3
+// patch in the other level. rows holds the three consecutive rows (y-1, y,
+// y+1) of this level; other holds the same three rows of the other level.
+func ExtremaRow(y, lvl int, rows, other [3][]float64, threshold float64) []Keypoint {
+	var keys []Keypoint
+	w := len(rows[1])
+	for x := 1; x < w-1; x++ {
+		v := rows[1][x]
+		if math.Abs(v) < threshold {
+			continue
+		}
+		isMax, isMin := true, true
+		check := func(nv float64) {
+			if nv >= v {
+				isMax = false
+			}
+			if nv <= v {
+				isMin = false
+			}
+		}
+		for dy := 0; dy < 3; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dy != 1 || dx != 0 {
+					check(rows[dy][x+dx])
+				}
+				check(other[dy][x+dx])
+			}
+		}
+		if isMax || isMin {
+			keys = append(keys, Keypoint{X: x, Y: y, Level: lvl, Value: v})
+		}
+	}
+	return keys
+}
+
+// Result is the output of the SIFT front-end.
+type Result struct {
+	Keypoints []Keypoint
+}
+
+// Sigmas are the three scale-space levels used by both the sequential and
+// the P2G pipeline.
+var Sigmas = [3]float64{1.0, 1.6, 2.56}
+
+// DefaultThreshold is the extremum magnitude cutoff.
+const DefaultThreshold = 2.0
+
+// Sequential runs the whole front-end single-threaded: 3 blurs, 2 DoG
+// levels, extrema over interior rows. The P2G version must match this
+// exactly (identical float operations in identical per-row order).
+func Sequential(img Image, threshold float64) *Result {
+	var blurs [3]Image
+	for i, sigma := range Sigmas {
+		blurs[i] = Blur(img, sigma)
+	}
+	dogs := [2]Image{}
+	for l := 0; l < 2; l++ {
+		dogs[l] = make(Image, len(img))
+		for y := range img {
+			dogs[l][y] = DoGRow(blurs[l][y], blurs[l+1][y])
+		}
+	}
+	res := &Result{}
+	h := len(img)
+	for l := 0; l < 2; l++ {
+		for y := 1; y < h-1; y++ {
+			rows := [3][]float64{dogs[l][y-1], dogs[l][y], dogs[l][y+1]}
+			other := [3][]float64{dogs[1-l][y-1], dogs[1-l][y], dogs[1-l][y+1]}
+			res.Keypoints = append(res.Keypoints, ExtremaRow(y, l, rows, other, threshold)...)
+		}
+	}
+	return res
+}

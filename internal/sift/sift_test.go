@@ -1,0 +1,182 @@
+package sift
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelProperties(t *testing.T) {
+	for _, sigma := range []float64{0.5, 1.0, 1.6, 3.2} {
+		k := Kernel(sigma)
+		if len(k)%2 != 1 {
+			t.Fatalf("sigma %v: kernel length %d not odd", sigma, len(k))
+		}
+		var sum float64
+		for i, v := range k {
+			sum += v
+			if v != k[len(k)-1-i] {
+				t.Fatalf("sigma %v: kernel not symmetric", sigma)
+			}
+			if v <= 0 {
+				t.Fatalf("sigma %v: non-positive weight", sigma)
+			}
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("sigma %v: kernel sums to %v", sigma, sum)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive sigma should panic")
+		}
+	}()
+	Kernel(0)
+}
+
+// Property: blurring a constant row is the identity (up to rounding).
+func TestQuickBlurConstant(t *testing.T) {
+	f := func(v uint8, n uint8) bool {
+		w := int(n%32) + 8
+		row := make([]float64, w)
+		for i := range row {
+			row[i] = float64(v)
+		}
+		out := BlurRow(row, Kernel(1.6))
+		for _, o := range out {
+			if math.Abs(o-float64(v)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: blur preserves the mean of the row better than it preserves the
+// extremes (it is a smoothing average with edge replication; interior mass
+// is conserved up to border effects, and max never grows).
+func TestQuickBlurBounds(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) < 8 {
+			return true
+		}
+		row := make([]float64, len(vals))
+		hi := 0.0
+		for i, v := range vals {
+			row[i] = float64(v)
+			if row[i] > hi {
+				hi = row[i]
+			}
+		}
+		out := BlurRow(row, Kernel(1.0))
+		for _, o := range out {
+			if o > hi+1e-9 || o < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	img := NewImage(5, 3)
+	v := 0.0
+	for y := range img {
+		for x := range img[y] {
+			img[y][x] = v
+			v++
+		}
+	}
+	tt := Transpose(Transpose(img))
+	for y := range img {
+		for x := range img[y] {
+			if tt[y][x] != img[y][x] {
+				t.Fatal("transpose twice is not the identity")
+			}
+		}
+	}
+	tr := Transpose(img)
+	if len(tr) != 5 || len(tr[0]) != 3 {
+		t.Fatalf("transposed dims %dx%d", len(tr), len(tr[0]))
+	}
+	if tr[2][1] != img[1][2] {
+		t.Error("transpose coordinates")
+	}
+}
+
+func TestSequentialFindsPlantedExtremum(t *testing.T) {
+	// A single bright dot produces a strong DoG extremum at its location.
+	img := NewImage(32, 32)
+	img[16][16] = 255
+	res := Sequential(img, DefaultThreshold)
+	if len(res.Keypoints) == 0 {
+		t.Fatal("no keypoints for an impulse image")
+	}
+	found := false
+	for _, k := range res.Keypoints {
+		if k.X == 16 && k.Y == 16 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("impulse location not among keypoints: %v", res.Keypoints)
+	}
+	// A flat image has none.
+	flat := NewImage(32, 32)
+	for y := range flat {
+		for x := range flat[y] {
+			flat[y][x] = 100
+		}
+	}
+	if res := Sequential(flat, DefaultThreshold); len(res.Keypoints) != 0 {
+		t.Errorf("flat image produced %d keypoints", len(res.Keypoints))
+	}
+}
+
+func TestFromLuma(t *testing.T) {
+	plane := []byte{1, 2, 3, 4, 5, 6}
+	img := FromLuma(plane, 3, 2)
+	if img[0][2] != 3 || img[1][0] != 4 {
+		t.Errorf("FromLuma layout: %v", img)
+	}
+}
+
+func TestDoGRow(t *testing.T) {
+	out := DoGRow([]float64{5, 7}, []float64{2, 10})
+	if out[0] != 3 || out[1] != -3 {
+		t.Errorf("DoGRow %v", out)
+	}
+}
+
+func TestExtremaRowThresholdAndStrictness(t *testing.T) {
+	mk := func(v float64) [3][]float64 {
+		z := func() []float64 { return make([]float64, 5) }
+		rows := [3][]float64{z(), z(), z()}
+		rows[1][2] = v
+		return rows
+	}
+	zero := [3][]float64{make([]float64, 5), make([]float64, 5), make([]float64, 5)}
+	// Above threshold: detected.
+	if ks := ExtremaRow(1, 0, mk(10), zero, 2); len(ks) != 1 || ks[0].X != 2 {
+		t.Errorf("expected one keypoint, got %v", ks)
+	}
+	// Below threshold: rejected.
+	if ks := ExtremaRow(1, 0, mk(1), zero, 2); len(ks) != 0 {
+		t.Errorf("sub-threshold keypoint %v", ks)
+	}
+	// Equal neighbour in the other level: not strict, rejected.
+	other := mk(10)
+	if ks := ExtremaRow(1, 0, mk(10), other, 2); len(ks) != 0 {
+		t.Errorf("non-strict extremum accepted: %v", ks)
+	}
+	// Minima count too.
+	if ks := ExtremaRow(1, 0, mk(-10), zero, 2); len(ks) != 1 {
+		t.Errorf("minimum not detected: %v", ks)
+	}
+}

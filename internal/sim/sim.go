@@ -1,0 +1,211 @@
+// Package sim is the offline execution-node model the paper's §V-A alludes
+// to ("the weighted graphs can serve as input to static offline analysis.
+// For example, it could be used as input to a simulator to best determine
+// how to initially configure a workload").
+//
+// The model captures the two resources that shape the paper's figures 9 and
+// 10: a pool of worker threads executing kernel instances (kernel time plus
+// per-instance dispatch overhead), and the single dedicated dependency-
+// analyzer thread processing store/done events serially. Per-instance costs
+// are taken from real instrumentation (a Report from an actual run), so the
+// simulator extrapolates measured behaviour to machines with more cores than
+// the present host — the same role the authors' simulator plays for
+// alternative topologies.
+//
+// Two effects emerge naturally:
+//   - near-linear scaling while worker work dominates (MJPEG, figure 9),
+//     with the last core shared between a worker and the analyzer;
+//   - saturation and regression when the serial analyzer becomes the
+//     bottleneck (K-means, figure 10).
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// KernelCost is the per-kernel input to the model.
+type KernelCost struct {
+	Name      string
+	Instances int64
+	// KernelPer and DispatchPer are mean per-instance times on the
+	// reference machine.
+	KernelPer   time.Duration
+	DispatchPer time.Duration
+	// Events is the number of analyzer events one instance generates
+	// (its fired stores plus the done event).
+	Events float64
+}
+
+// Model describes a simulated execution node.
+type Model struct {
+	Kernels []KernelCost
+	// AnalyzerPerEvent is the serial analyzer's cost to process one event.
+	AnalyzerPerEvent time.Duration
+	// Cores is the simulated machine's physical core count.
+	Cores int
+	// Speed scales all costs (1.0 = the reference machine that produced
+	// the instrumentation; the paper's Opteron would be ≈0.65 of its i7).
+	Speed float64
+	// ContentionPenalty models the slowdown idle workers inflict on a
+	// saturated analyzer (ready-queue and event-channel contention): once
+	// the analyzer is the bottleneck, each surplus worker multiplies the
+	// analyzer's work by (1 + ContentionPenalty). The paper observes this
+	// as rising K-means times beyond 4 workers (§VIII-B), more pronounced
+	// on the Opteron whose cores cannot boost to absorb the serial
+	// bottleneck. Zero disables the effect.
+	ContentionPenalty float64
+}
+
+// FromReport builds per-kernel costs from a real instrumented run.
+func FromReport(rep *runtime.Report) []KernelCost {
+	var out []KernelCost
+	for _, k := range rep.Kernels {
+		if k.Instances == 0 {
+			continue
+		}
+		out = append(out, KernelCost{
+			Name:        k.Name,
+			Instances:   k.Instances,
+			KernelPer:   k.KernelPer(),
+			DispatchPer: k.DispatchPer(),
+			Events:      float64(k.StoreOps+k.Instances) / float64(k.Instances),
+		})
+	}
+	return out
+}
+
+// CalibrateAnalyzer estimates the analyzer's per-event cost from a
+// single-worker run on a single-core host, where wall time decomposes into
+// worker work plus analyzer work: perEvent ≈ (wall - Σ instance costs) /
+// Σ events. The estimate is clamped to a sane floor.
+func CalibrateAnalyzer(rep *runtime.Report) time.Duration {
+	var work time.Duration
+	var events float64
+	for _, k := range rep.Kernels {
+		work += k.KernelTotal + k.DispatchTotal
+		events += float64(k.StoreOps + k.Instances)
+	}
+	if events == 0 {
+		return time.Microsecond
+	}
+	per := time.Duration(float64(rep.Wall-work) / events)
+	if per < 500*time.Nanosecond {
+		per = 500 * time.Nanosecond
+	}
+	return per
+}
+
+// WorkerWork is the total time the worker pool must spend.
+func (m Model) WorkerWork() time.Duration {
+	var w time.Duration
+	for _, k := range m.Kernels {
+		w += time.Duration(k.Instances) * (k.KernelPer + k.DispatchPer)
+	}
+	return m.scale(w)
+}
+
+// AnalyzerWork is the total time the serial analyzer must spend.
+func (m Model) AnalyzerWork() time.Duration {
+	var events float64
+	for _, k := range m.Kernels {
+		events += float64(k.Instances) * k.Events
+	}
+	return m.scale(time.Duration(events * float64(m.AnalyzerPerEvent)))
+}
+
+func (m Model) scale(d time.Duration) time.Duration {
+	s := m.Speed
+	if s <= 0 {
+		s = 1
+	}
+	return time.Duration(float64(d) / s)
+}
+
+// Run predicts the wall time with the given number of worker threads. The
+// analyzer always occupies its own thread; when workers+analyzer exceed the
+// core count, the contended cores are shared, which is what bends the
+// paper's curves at 8 workers on the 8-way machines.
+func (m Model) Run(workers int) (time.Duration, error) {
+	if workers < 1 {
+		return 0, fmt.Errorf("sim: need at least one worker")
+	}
+	cores := m.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	ww := float64(m.WorkerWork())
+	aw := float64(m.AnalyzerWork())
+
+	// Fixed-point on the makespan T:
+	//   analyzer utilization  uA = aw / T  (≤ 1)
+	//   cores left for workers = cores - uA (the analyzer's share of a core)
+	//   effective worker parallelism = min(workers, cores - uA), ≥ a floor
+	//   T = max(ww / eff, aw, critical-path serial floor)
+	t := maxf(ww/float64(minInt(workers, cores)), aw)
+	for i := 0; i < 64; i++ {
+		uA := 0.0
+		if t > 0 {
+			uA = aw / t
+			if uA > 1 {
+				uA = 1
+			}
+		}
+		eff := float64(minInt(workers, cores)) // threads can't exceed cores
+		if workers+1 > cores {
+			// A worker shares a core with the analyzer.
+			eff = float64(cores) - uA
+			if w := float64(workers); w < eff {
+				eff = w
+			}
+			if eff < 0.5 {
+				eff = 0.5
+			}
+		}
+		nt := maxf(ww/eff, aw)
+		if diff := nt - t; diff < 1 && diff > -1 {
+			t = nt
+			break
+		}
+		t = nt
+	}
+	// Analyzer-bound regime: surplus workers contend on the ready queue
+	// and event channel, slowing the serial analyzer further.
+	if m.ContentionPenalty > 0 && aw > 0 {
+		needed := ww / aw // workers that would keep pace with the analyzer
+		if surplus := float64(workers) - needed; surplus > 0 {
+			penalized := aw * (1 + m.ContentionPenalty*surplus)
+			t = maxf(t, penalized)
+		}
+	}
+	return time.Duration(t), nil
+}
+
+// Sweep runs the model for 1..maxWorkers and returns predicted wall times.
+func (m Model) Sweep(maxWorkers int) ([]time.Duration, error) {
+	out := make([]time.Duration, maxWorkers)
+	for w := 1; w <= maxWorkers; w++ {
+		t, err := m.Run(w)
+		if err != nil {
+			return nil, err
+		}
+		out[w-1] = t
+	}
+	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// mjpegLike models the paper's Table II: kernel time far above dispatch
+// overhead, so worker work dominates.
+func mjpegLike() Model {
+	return Model{
+		Kernels: []KernelCost{
+			{Name: "yDCT", Instances: 80784, KernelPer: 170 * time.Microsecond, DispatchPer: 3 * time.Microsecond, Events: 2},
+			{Name: "uDCT", Instances: 20196, KernelPer: 170 * time.Microsecond, DispatchPer: 3 * time.Microsecond, Events: 2},
+			{Name: "vDCT", Instances: 20196, KernelPer: 170 * time.Microsecond, DispatchPer: 3 * time.Microsecond, Events: 2},
+			{Name: "vlc", Instances: 51, KernelPer: 2160 * time.Microsecond, DispatchPer: 3 * time.Microsecond, Events: 3},
+		},
+		AnalyzerPerEvent: 2 * time.Microsecond,
+		Cores:            8,
+	}
+}
+
+// kmeansLike models Table III: dispatch of the same order as kernel time,
+// so the serial analyzer saturates.
+func kmeansLike() Model {
+	return Model{
+		Kernels: []KernelCost{
+			{Name: "assign", Instances: 20000, KernelPer: 7 * time.Microsecond, DispatchPer: 4 * time.Microsecond, Events: 2},
+			{Name: "refine", Instances: 1000, KernelPer: 93 * time.Microsecond, DispatchPer: 3 * time.Microsecond, Events: 2},
+		},
+		AnalyzerPerEvent:  3 * time.Microsecond,
+		Cores:             8,
+		ContentionPenalty: 0.08,
+	}
+}
+
+func TestFig9ShapeNearLinear(t *testing.T) {
+	m := mjpegLike()
+	times, err := m.Sweep(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone non-increasing.
+	for w := 1; w < 8; w++ {
+		if times[w] > times[w-1] {
+			t.Errorf("MJPEG model regressed from %d to %d workers: %v -> %v", w, w+1, times[w-1], times[w])
+		}
+	}
+	// Near-linear speedup through 7 workers (within 20% of ideal).
+	sp7 := float64(times[0]) / float64(times[6])
+	if sp7 < 5.6 {
+		t.Errorf("speedup at 7 workers = %.2f, want near-linear (>5.6)", sp7)
+	}
+	// The 8th worker shares a core with the analyzer: the gain from 7 to 8
+	// is visibly smaller than from 6 to 7 (the figure's flattening).
+	gain67 := float64(times[5]) - float64(times[6])
+	gain78 := float64(times[6]) - float64(times[7])
+	if gain78 > gain67*0.9 {
+		t.Errorf("no flattening at 8 workers: gains %.2fms then %.2fms", gain67/1e6, gain78/1e6)
+	}
+}
+
+func TestFig10ShapeSaturates(t *testing.T) {
+	m := kmeansLike()
+	times, err := m.Sweep(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial speedup exists.
+	if times[1] >= times[0] {
+		t.Errorf("no speedup from 1 to 2 workers: %v -> %v", times[0], times[1])
+	}
+	// Saturation: the analyzer bound makes the curve flat (or worse) well
+	// before 8 workers; find the knee.
+	knee := 8
+	for w := 1; w < 8; w++ {
+		if float64(times[w]) > float64(times[w-1])*0.97 {
+			knee = w
+			break
+		}
+	}
+	if knee > 5 {
+		t.Errorf("K-means model should saturate by ~4-5 workers, knee at %d (times %v)", knee, times)
+	}
+	// The floor is the analyzer work.
+	if times[7] < m.AnalyzerWork() {
+		t.Errorf("makespan %v below analyzer work %v", times[7], m.AnalyzerWork())
+	}
+	// Beyond the knee the curve rises again — the figure 10 regression the
+	// paper attributes to contention on the saturated analyzer.
+	if times[7] <= times[3] {
+		t.Errorf("expected regression from 4 to 8 workers, got %v -> %v", times[3], times[7])
+	}
+}
+
+func TestSpeedScalesUniformly(t *testing.T) {
+	m := mjpegLike()
+	slow := m
+	slow.Speed = 0.5
+	a, _ := m.Run(4)
+	b, _ := slow.Run(4)
+	ratio := float64(b) / float64(a)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("half-speed machine should take ~2x, got %.2fx", ratio)
+	}
+}
+
+func TestFromReportAndCalibrate(t *testing.T) {
+	rep := &runtime.Report{
+		Wall: 100 * time.Millisecond,
+		Kernels: []runtime.KernelStats{
+			{Name: "a", Instances: 100, KernelTotal: 40 * time.Millisecond, DispatchTotal: 10 * time.Millisecond, StoreOps: 100},
+			{Name: "skip", Instances: 0},
+		},
+	}
+	costs := FromReport(rep)
+	if len(costs) != 1 {
+		t.Fatalf("costs %v", costs)
+	}
+	c := costs[0]
+	if c.KernelPer != 400*time.Microsecond || c.DispatchPer != 100*time.Microsecond || c.Events != 2 {
+		t.Errorf("cost %+v", c)
+	}
+	// wall - work = 50ms over 200 events = 250µs/event.
+	per := CalibrateAnalyzer(rep)
+	if per != 250*time.Microsecond {
+		t.Errorf("calibrated per-event = %v", per)
+	}
+	// Degenerate inputs clamp.
+	if CalibrateAnalyzer(&runtime.Report{}) != time.Microsecond {
+		t.Error("empty report should clamp")
+	}
+	fast := &runtime.Report{Wall: time.Millisecond, Kernels: []runtime.KernelStats{
+		{Name: "a", Instances: 10, KernelTotal: 10 * time.Millisecond, StoreOps: 10},
+	}}
+	if CalibrateAnalyzer(fast) < 500*time.Nanosecond {
+		t.Error("negative residual should clamp to floor")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := mjpegLike()
+	if _, err := m.Run(0); err == nil {
+		t.Error("0 workers should error")
+	}
+	// Zero cores defaults to 1.
+	m.Cores = 0
+	if d, err := m.Run(4); err != nil || d <= 0 {
+		t.Errorf("cores default: %v %v", d, err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package video provides raw YUV 4:2:0 frames, file I/O and a deterministic
+// synthetic source that substitutes for the paper's Foreman CIF test
+// sequence. The MJPEG evaluation depends only on frame geometry (the number
+// of 8x8 macroblocks) and on DCT cost, which is content-independent for the
+// naive DCT the paper uses; the synthetic source exercises the identical code
+// path with reproducible content.
+package video
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// CIF is the resolution the paper's evaluation uses: 352x288 pixels, which
+// yields 1584 luma and 2x396 chroma macroblocks per frame.
+const (
+	CIFWidth  = 352
+	CIFHeight = 288
+)
+
+// Frame is one uncompressed YUV 4:2:0 frame: full-resolution luma and
+// quarter-resolution chroma planes.
+type Frame struct {
+	W, H    int
+	Y, U, V []byte
+}
+
+// NewFrame allocates a zeroed frame. Width and height must be even.
+func NewFrame(w, h int) *Frame {
+	if w <= 0 || h <= 0 || w%2 != 0 || h%2 != 0 {
+		panic(fmt.Sprintf("video: invalid frame size %dx%d (must be positive and even)", w, h))
+	}
+	return &Frame{W: w, H: h, Y: make([]byte, w*h), U: make([]byte, w*h/4), V: make([]byte, w*h/4)}
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	c := NewFrame(f.W, f.H)
+	copy(c.Y, f.Y)
+	copy(c.U, f.U)
+	copy(c.V, f.V)
+	return c
+}
+
+// Source produces a sequence of frames; Next returns io.EOF when exhausted.
+type Source interface {
+	Next() (*Frame, error)
+}
+
+// Synthetic is a deterministic frame generator: a moving diagonal gradient,
+// a moving bright disc and pseudo-random texture, all derived from the seed
+// and frame index so two generators with equal parameters produce identical
+// sequences.
+type Synthetic struct {
+	w, h   int
+	frames int
+	seed   uint64
+	next   int
+}
+
+// NewSynthetic creates a source of n frames at the given size.
+func NewSynthetic(w, h, n int, seed uint64) *Synthetic {
+	return &Synthetic{w: w, h: h, frames: n, seed: seed}
+}
+
+// NewCIFSource is shorthand for a CIF-resolution synthetic source.
+func NewCIFSource(frames int, seed uint64) *Synthetic {
+	return NewSynthetic(CIFWidth, CIFHeight, frames, seed)
+}
+
+// xorshift is a tiny deterministic PRNG for texture; the quality of the
+// randomness is irrelevant, stability across platforms is what matters.
+func xorshift(s uint64) uint64 {
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	return s
+}
+
+// Next generates the next frame, or io.EOF after the configured count.
+func (s *Synthetic) Next() (*Frame, error) {
+	if s.next >= s.frames {
+		return nil, io.EOF
+	}
+	t := s.next
+	s.next++
+	f := NewFrame(s.w, s.h)
+	// Moving disc center.
+	cx := float64(s.w)/2 + float64(s.w)/4*math.Sin(float64(t)*0.21)
+	cy := float64(s.h)/2 + float64(s.h)/4*math.Cos(float64(t)*0.17)
+	r := float64(s.h) / 6
+	rng := s.seed ^ uint64(t)*0x9e3779b97f4a7c15
+	for y := 0; y < s.h; y++ {
+		for x := 0; x < s.w; x++ {
+			// Diagonal gradient that drifts with time.
+			v := (x + y + 3*t) % 256
+			// Bright disc.
+			dx, dy := float64(x)-cx, float64(y)-cy
+			if dx*dx+dy*dy < r*r {
+				v = (v + 160) % 256
+			}
+			// Texture noise in the low bits.
+			rng = xorshift(rng + uint64(x))
+			v = (v &^ 7) | int(rng&7)
+			f.Y[y*s.w+x] = byte(v)
+		}
+	}
+	cw, ch := s.w/2, s.h/2
+	for y := 0; y < ch; y++ {
+		for x := 0; x < cw; x++ {
+			f.U[y*cw+x] = byte((x*2 + 5*t) % 256)
+			f.V[y*cw+x] = byte((y*2 + 7*t) % 256)
+		}
+	}
+	return f, nil
+}
+
+// WriteYUV appends the frame's planes in planar I420 order.
+func WriteYUV(w io.Writer, f *Frame) error {
+	for _, p := range [][]byte{f.Y, f.U, f.V} {
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reader reads planar I420 frames of a fixed size from a stream.
+type Reader struct {
+	r    io.Reader
+	w, h int
+}
+
+// NewReader wraps r as a Source of w x h frames.
+func NewReader(r io.Reader, w, h int) *Reader {
+	return &Reader{r: r, w: w, h: h}
+}
+
+// Next reads one frame; it returns io.EOF cleanly at end of stream and
+// io.ErrUnexpectedEOF for a truncated frame.
+func (rd *Reader) Next() (*Frame, error) {
+	f := NewFrame(rd.w, rd.h)
+	if _, err := io.ReadFull(rd.r, f.Y); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	for _, p := range [][]byte{f.U, f.V} {
+		if _, err := io.ReadFull(rd.r, p); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// PSNR computes the peak signal-to-noise ratio between two equally sized
+// frames over all three planes, in dB. Identical frames return +Inf.
+func PSNR(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("video: PSNR of differently sized frames")
+	}
+	var se float64
+	n := 0
+	for _, pair := range [][2][]byte{{a.Y, b.Y}, {a.U, b.U}, {a.V, b.V}} {
+		for i := range pair[0] {
+			d := float64(pair[0][i]) - float64(pair[1][i])
+			se += d * d
+		}
+		n += len(pair[0])
+	}
+	if se == 0 {
+		return math.Inf(1)
+	}
+	mse := se / float64(n)
+	return 10 * math.Log10(255*255/mse)
+}

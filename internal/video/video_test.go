@@ -1,0 +1,153 @@
+package video
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a := NewSynthetic(64, 48, 3, 7)
+	b := NewSynthetic(64, 48, 3, 7)
+	for i := 0; i < 3; i++ {
+		fa, err := a.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := b.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fa.Y, fb.Y) || !bytes.Equal(fa.U, fb.U) || !bytes.Equal(fa.V, fb.V) {
+			t.Fatalf("frame %d differs between equal generators", i)
+		}
+	}
+	if _, err := a.Next(); err != io.EOF {
+		t.Fatalf("expected EOF after 3 frames, got %v", err)
+	}
+}
+
+func TestSyntheticSeedsAndFramesDiffer(t *testing.T) {
+	f0, _ := NewSynthetic(64, 48, 2, 1).Next()
+	f1, _ := NewSynthetic(64, 48, 2, 2).Next()
+	if bytes.Equal(f0.Y, f1.Y) {
+		t.Error("different seeds should give different luma")
+	}
+	src := NewSynthetic(64, 48, 2, 1)
+	a, _ := src.Next()
+	b, _ := src.Next()
+	if bytes.Equal(a.Y, b.Y) {
+		t.Error("consecutive frames should differ (motion)")
+	}
+}
+
+func TestCIFSourceGeometry(t *testing.T) {
+	f, err := NewCIFSource(1, 0).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.W != 352 || f.H != 288 {
+		t.Fatalf("CIF frame is %dx%d", f.W, f.H)
+	}
+	if len(f.Y) != 352*288 || len(f.U) != 176*144 || len(f.V) != 176*144 {
+		t.Error("plane sizes")
+	}
+	// Geometry that drives the paper's instance counts: 1584 luma blocks,
+	// 396 chroma blocks per plane.
+	if (f.W/8)*(f.H/8) != 1584 || (f.W/16)*(f.H/16) != 396 {
+		t.Error("macroblock counts do not match the paper")
+	}
+}
+
+func TestNewFrameValidation(t *testing.T) {
+	for _, dims := range [][2]int{{0, 2}, {2, 0}, {3, 2}, {2, 3}, {-2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFrame(%v) should panic", dims)
+				}
+			}()
+			NewFrame(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestYUVRoundTrip(t *testing.T) {
+	src := NewSynthetic(32, 16, 2, 3)
+	var buf bytes.Buffer
+	var orig []*Frame
+	for {
+		f, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig = append(orig, f)
+		if err := WriteYUV(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := NewReader(&buf, 32, 16)
+	for i, want := range orig {
+		got, err := rd.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Y, want.Y) || !bytes.Equal(got.U, want.U) || !bytes.Equal(got.V, want.V) {
+			t.Fatalf("frame %d round-trip mismatch", i)
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	f := NewFrame(16, 16)
+	var buf bytes.Buffer
+	if err := WriteYUV(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	rd := NewReader(bytes.NewReader(trunc), 16, 16)
+	if _, err := rd.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("expected ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	f, _ := NewSynthetic(16, 16, 1, 9).Next()
+	c := f.Clone()
+	c.Y[0] ^= 0xff
+	if f.Y[0] == c.Y[0] {
+		t.Error("clone aliases source")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	f, _ := NewSynthetic(32, 32, 1, 4).Next()
+	if !math.IsInf(PSNR(f, f), 1) {
+		t.Error("identical frames should have infinite PSNR")
+	}
+	g := f.Clone()
+	for i := range g.Y {
+		g.Y[i] ^= 4
+	}
+	p := PSNR(f, g)
+	if p < 20 || p > 60 {
+		t.Errorf("small perturbation PSNR = %v, expected moderate value", p)
+	}
+	h := NewFrame(32, 32) // all zeros vs content
+	if PSNR(f, h) >= p {
+		t.Error("gross difference should have lower PSNR than slight one")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch should panic")
+		}
+	}()
+	PSNR(f, NewFrame(16, 16))
+}

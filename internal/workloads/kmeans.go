@@ -1,0 +1,167 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/kmeans"
+	"repro/internal/runtime"
+)
+
+// KMeansConfig parameterizes the K-means workload. The paper's evaluation
+// uses N=2000 points, K=100 clusters and 10 iterations (§VIII-B).
+type KMeansConfig struct {
+	N    int // number of datapoints
+	Dim  int // point dimensionality
+	K    int // number of clusters
+	Iter int // fixed iteration count (the paper's break-point)
+	Seed uint64
+}
+
+// withDefaults fills the paper's parameters for zero fields.
+func (c KMeansConfig) withDefaults() KMeansConfig {
+	if c.N == 0 {
+		c.N = 2000
+	}
+	if c.Dim == 0 {
+		c.Dim = 2
+	}
+	if c.K == 0 {
+		c.K = 100
+	}
+	if c.Iter == 0 {
+		c.Iter = 10
+	}
+	return c
+}
+
+// KMeans builds the figure 7 program:
+//
+//	init ─▶ datapoints(0) ──▶ assign ─▶ membership(a) ─▶ refine ─▶ centroids(a+1)
+//	     └─▶ centroids(0) ──▶ assign                      ▲
+//	                          (loop: refine feeds the next age's assign)
+//
+// One assign instance runs per datapoint per iteration; one refine instance
+// per cluster per iteration; print runs once per iteration plus once for the
+// final centroids. Iterations are bounded by the runtime options from
+// KMeansOptions — the scheduler-level break-point the paper describes.
+func KMeans(cfg KMeansConfig) *core.Program {
+	cfg = cfg.withDefaults()
+	b := core.NewBuilder("kmeans")
+	b.Field("datapoints", field.Any, 1, true)
+	b.Field("centroids", field.Any, 1, true)
+	b.Field("membership", field.Int32, 1, true)
+
+	b.Kernel("init").
+		Local("pts", field.Any, 1).
+		Local("cents", field.Any, 1).
+		StoreAll("datapoints", core.AgeAt(0), "pts").
+		StoreAll("centroids", core.AgeAt(0), "cents").
+		Body(func(c *core.Ctx) error {
+			points := kmeans.Generate(cfg.N, cfg.Dim, cfg.K, cfg.Seed)
+			pa := c.Array("pts")
+			for i, p := range points {
+				pa.Put(field.AnyVal(p), i)
+			}
+			ca := c.Array("cents")
+			for i, p := range kmeans.InitialCentroids(points, cfg.K) {
+				ca.Put(field.AnyVal(p), i)
+			}
+			return nil
+		})
+
+	b.Kernel("assign").Age("a").Index("x").
+		Local("p", field.Any, 0).
+		Local("cents", field.Any, 1).
+		Local("m", field.Int32, 0).
+		Fetch("p", "datapoints", core.AgeAt(0), core.Idx("x")).
+		FetchAll("cents", "centroids", core.AgeVar(0)).
+		Store("membership", core.AgeVar(0), []core.IndexSpec{core.Idx("x")}, "m").
+		Body(func(c *core.Ctx) error {
+			p := c.Obj("p").(kmeans.Point)
+			ca := c.Array("cents")
+			cents := make([]kmeans.Point, ca.Extent(0))
+			for i := range cents {
+				cents[i] = ca.At(i).Obj().(kmeans.Point)
+			}
+			c.SetInt32("m", int32(kmeans.Assign(p, cents)))
+			return nil
+		})
+
+	b.Kernel("refine").Age("a").Index("c").
+		Local("cent", field.Any, 0).
+		Local("ms", field.Int32, 1).
+		Local("pts", field.Any, 1).
+		Local("next", field.Any, 0).
+		Fetch("cent", "centroids", core.AgeVar(0), core.Idx("c")).
+		FetchAll("ms", "membership", core.AgeVar(0)).
+		FetchAll("pts", "datapoints", core.AgeAt(0)).
+		Store("centroids", core.AgeVar(1), []core.IndexSpec{core.Idx("c")}, "next").
+		Body(func(c *core.Ctx) error {
+			prev := c.Obj("cent").(kmeans.Point)
+			ma := c.Array("ms")
+			pa := c.Array("pts")
+			n := pa.Extent(0)
+			points := make([]kmeans.Point, n)
+			membership := make([]int, n)
+			for i := 0; i < n; i++ {
+				points[i] = pa.At(i).Obj().(kmeans.Point)
+				membership[i] = int(ma.At(i).Int32())
+			}
+			c.SetObj("next", kmeans.Refine(c.Index("c"), points, membership, prev))
+			return nil
+		})
+
+	b.Kernel("print").Age("a").
+		Local("cents", field.Any, 1).
+		FetchAll("cents", "centroids", core.AgeVar(0)).
+		Body(func(c *core.Ctx) error {
+			ca := c.Array("cents")
+			var sum float64
+			for i := 0; i < ca.Extent(0); i++ {
+				p := ca.At(i).Obj().(kmeans.Point)
+				for _, v := range p {
+					sum += v
+				}
+			}
+			c.Printf("iteration %d: %d centroids, coordinate sum %.4f\n", c.Age(), ca.Extent(0), sum)
+			return nil
+		})
+
+	p, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("workloads: kmeans program invalid: %v", err))
+	}
+	return p
+}
+
+// KMeansOptions returns runtime options that bound the loop to cfg.Iter
+// iterations: assign and refine run for ages 0..Iter-1, print additionally
+// sees the final centroids at age Iter. These per-kernel bounds are the
+// break-point §VIII-B introduces to make running times comparable.
+func KMeansOptions(cfg KMeansConfig, workers int) runtime.Options {
+	cfg = cfg.withDefaults()
+	return runtime.Options{
+		Workers: workers,
+		KernelMaxAge: map[string]int{
+			"assign": cfg.Iter - 1,
+			"refine": cfg.Iter - 1,
+			"print":  cfg.Iter,
+		},
+	}
+}
+
+// KMeansCentroids extracts the centroids at the given age from a finished
+// node.
+func KMeansCentroids(n *runtime.Node, age int) ([]kmeans.Point, error) {
+	s, err := n.Snapshot("centroids", age)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]kmeans.Point, s.Extent(0))
+	for i := range out {
+		out[i] = s.At(i).Obj().(kmeans.Point)
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+// Package workloads contains the paper's evaluation programs expressed
+// against the P2G program model: the mul2/plus5 pipeline of figure 5, the
+// Motion JPEG encoder of figure 8 and the K-means clustering of figure 7.
+// Each is the Go-native equivalent of its kernel-language source in
+// testdata/; the bodies call into the same substrate code (packages mjpeg,
+// kmeans) that the standalone baselines use, so P2G and baseline outputs can
+// be compared bit for bit.
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/field"
+)
+
+// MulSum builds the figure 5 example: init seeds m_data(0) with
+// {10,11,12,13,14}; mul2 doubles elements of m_data(a) into p_data(a); plus5
+// adds 5 to p_data(a) into m_data(a+1); print emits both fields per age. The
+// program has no termination condition — bound it with Options.MaxAge.
+func MulSum() *core.Program {
+	b := core.NewBuilder("mulsum")
+	b.Field("m_data", field.Int32, 1, true)
+	b.Field("p_data", field.Int32, 1, true)
+
+	b.Kernel("init").
+		Local("values", field.Int32, 1).
+		StoreAll("m_data", core.AgeAt(0), "values").
+		Body(func(c *core.Ctx) error {
+			vs := c.Array("values")
+			for i := 0; i < 5; i++ {
+				vs.Put(field.Int32Val(int32(i+10)), i)
+			}
+			return nil
+		})
+
+	b.Kernel("mul2").Age("a").Index("x").
+		Local("value", field.Int32, 0).
+		Fetch("value", "m_data", core.AgeVar(0), core.Idx("x")).
+		Store("p_data", core.AgeVar(0), []core.IndexSpec{core.Idx("x")}, "value").
+		Body(func(c *core.Ctx) error {
+			c.SetInt32("value", c.Int32("value")*2)
+			return nil
+		})
+
+	b.Kernel("plus5").Age("a").Index("x").
+		Local("value", field.Int32, 0).
+		Fetch("value", "p_data", core.AgeVar(0), core.Idx("x")).
+		Store("m_data", core.AgeVar(1), []core.IndexSpec{core.Idx("x")}, "value").
+		Body(func(c *core.Ctx) error {
+			c.SetInt32("value", c.Int32("value")+5)
+			return nil
+		})
+
+	b.Kernel("print").Age("a").
+		Local("m", field.Int32, 1).
+		Local("p", field.Int32, 1).
+		FetchAll("m", "m_data", core.AgeVar(0)).
+		FetchAll("p", "p_data", core.AgeVar(0)).
+		Body(func(c *core.Ctx) error {
+			var sb strings.Builder
+			for _, name := range []string{"m", "p"} {
+				arr := c.Array(name)
+				for i := 0; i < arr.Extent(0); i++ {
+					fmt.Fprintf(&sb, "%d ", arr.At(i).Int32())
+				}
+				sb.WriteByte('\n')
+			}
+			c.Printf("%s", sb.String())
+			return nil
+		})
+
+	p, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("workloads: mulsum program invalid: %v", err))
+	}
+	return p
+}

@@ -1,0 +1,228 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/runtime"
+	"repro/internal/sift"
+	"repro/internal/video"
+)
+
+// SIFTConfig parameterizes the SIFT front-end workload.
+type SIFTConfig struct {
+	// Source provides frames; the luma plane is analyzed.
+	Source video.Source
+	// Threshold is the extremum magnitude cutoff (0 selects the default).
+	Threshold float64
+}
+
+// SIFT builds the scale-space keypoint pipeline the paper's §III names as
+// its second motivating example. The stages decompose along *different
+// dimensions at different granularities*, which is the property the paper
+// highlights:
+//
+//	load          1 instance/frame     whole frame
+//	hblur_s       H instances/frame    one image ROW each      (3 scales)
+//	transpose_s   1 instance/frame     dimension switch
+//	vblur_s       W instances/frame    one image COLUMN each   (3 scales)
+//	detranspose_s 1 instance/frame     back to rows
+//	dog_l         H instances/frame    one row each            (2 levels)
+//	extrema_l     H-2 instances/frame  one interior row each, fetching its
+//	                                   row neighbours via offset coordinates
+//	collect       1 instance/frame     aggregation
+func SIFT(cfg SIFTConfig) *core.Program {
+	if cfg.Source == nil {
+		panic("workloads: SIFT requires a video source")
+	}
+	threshold := cfg.Threshold
+	if threshold == 0 {
+		threshold = sift.DefaultThreshold
+	}
+
+	b := core.NewBuilder("sift")
+	b.Field("image", field.Any, 1, true) // rows of the input frame
+	for s := range sift.Sigmas {
+		b.Field(fmt.Sprintf("hpass%d", s), field.Any, 1, true) // rows
+		b.Field(fmt.Sprintf("hcols%d", s), field.Any, 1, true) // columns
+		b.Field(fmt.Sprintf("vcols%d", s), field.Any, 1, true) // blurred columns
+		b.Field(fmt.Sprintf("blur%d", s), field.Any, 1, true)  // rows again
+	}
+	b.Field("dog0", field.Any, 1, true)
+	b.Field("dog1", field.Any, 1, true)
+	b.Field("mark", field.Int32, 1, true) // interior-row domain (extent H-2)
+	b.Field("keys0", field.Any, 1, true)
+	b.Field("keys1", field.Any, 1, true)
+	b.Field("nkeys", field.Int32, 1, true)
+
+	b.Kernel("load").Age("a").
+		Local("rows", field.Any, 1).
+		StoreAll("image", core.AgeVar(0), "rows").
+		Body(func(c *core.Ctx) error {
+			f, err := cfg.Source.Next()
+			if err != nil {
+				c.Stop()
+				return nil
+			}
+			img := sift.FromLuma(f.Y, f.W, f.H)
+			arr := c.Array("rows")
+			for y, row := range img {
+				arr.Put(field.AnyVal(row), y)
+			}
+			return nil
+		})
+
+	for s, sigma := range sift.Sigmas {
+		kern := sift.Kernel(sigma)
+		s := s
+		b.Kernel(fmt.Sprintf("hblur%d", s)).Age("a").Index("y").
+			Local("row", field.Any, 0).
+			Local("out", field.Any, 0).
+			Fetch("row", "image", core.AgeVar(0), core.Idx("y")).
+			Store(fmt.Sprintf("hpass%d", s), core.AgeVar(0), []core.IndexSpec{core.Idx("y")}, "out").
+			Body(func(c *core.Ctx) error {
+				c.SetObj("out", sift.BlurRow(c.Obj("row").([]float64), kern))
+				return nil
+			})
+		transpose := func(name, in, out string) {
+			b.Kernel(name).Age("a").
+				Local("rows", field.Any, 1).
+				Local("cols", field.Any, 1).
+				FetchAll("rows", in, core.AgeVar(0)).
+				StoreAll(out, core.AgeVar(0), "cols").
+				Body(func(c *core.Ctx) error {
+					ra := c.Array("rows")
+					img := make(sift.Image, ra.Extent(0))
+					for i := range img {
+						img[i] = ra.At(i).Obj().([]float64)
+					}
+					ca := c.Array("cols")
+					for i, col := range sift.Transpose(img) {
+						ca.Put(field.AnyVal(col), i)
+					}
+					return nil
+				})
+		}
+		transpose(fmt.Sprintf("transpose%d", s), fmt.Sprintf("hpass%d", s), fmt.Sprintf("hcols%d", s))
+		b.Kernel(fmt.Sprintf("vblur%d", s)).Age("a").Index("x").
+			Local("col", field.Any, 0).
+			Local("out", field.Any, 0).
+			Fetch("col", fmt.Sprintf("hcols%d", s), core.AgeVar(0), core.Idx("x")).
+			Store(fmt.Sprintf("vcols%d", s), core.AgeVar(0), []core.IndexSpec{core.Idx("x")}, "out").
+			Body(func(c *core.Ctx) error {
+				c.SetObj("out", sift.BlurRow(c.Obj("col").([]float64), kern))
+				return nil
+			})
+		transpose(fmt.Sprintf("detranspose%d", s), fmt.Sprintf("vcols%d", s), fmt.Sprintf("blur%d", s))
+	}
+
+	for l := 0; l < 2; l++ {
+		l := l
+		b.Kernel(fmt.Sprintf("dog%d", l)).Age("a").Index("y").
+			Local("fine", field.Any, 0).
+			Local("coarse", field.Any, 0).
+			Local("out", field.Any, 0).
+			Fetch("fine", fmt.Sprintf("blur%d", l), core.AgeVar(0), core.Idx("y")).
+			Fetch("coarse", fmt.Sprintf("blur%d", l+1), core.AgeVar(0), core.Idx("y")).
+			Store(fmt.Sprintf("dog%d", l), core.AgeVar(0), []core.IndexSpec{core.Idx("y")}, "out").
+			Body(func(c *core.Ctx) error {
+				c.SetObj("out", sift.DoGRow(c.Obj("fine").([]float64), c.Obj("coarse").([]float64)))
+				return nil
+			})
+	}
+
+	// mark(a) has extent H-2: the interior-row domain for extrema kernels.
+	b.Kernel("mark_interior").Age("a").
+		Local("rows", field.Any, 1).
+		Local("m", field.Int32, 1).
+		FetchAll("rows", "image", core.AgeVar(0)).
+		StoreAll("mark", core.AgeVar(0), "m").
+		Body(func(c *core.Ctx) error {
+			h := c.Array("rows").Extent(0)
+			m := c.Array("m")
+			for i := 0; i < h-2; i++ {
+				m.Put(field.Int32Val(int32(i+1)), i)
+			}
+			return nil
+		})
+
+	for l := 0; l < 2; l++ {
+		l := l
+		own := fmt.Sprintf("dog%d", l)
+		other := fmt.Sprintf("dog%d", 1-l)
+		b.Kernel(fmt.Sprintf("extrema%d", l)).Age("a").Index("z").
+			Local("m", field.Int32, 0).
+			Local("r0", field.Any, 0).Local("r1", field.Any, 0).Local("r2", field.Any, 0).
+			Local("o0", field.Any, 0).Local("o1", field.Any, 0).Local("o2", field.Any, 0).
+			Local("keys", field.Any, 0).
+			Fetch("m", "mark", core.AgeVar(0), core.Idx("z")).
+			Fetch("r0", own, core.AgeVar(0), core.Idx("z")).
+			Fetch("r1", own, core.AgeVar(0), core.IdxOff("z", 1)).
+			Fetch("r2", own, core.AgeVar(0), core.IdxOff("z", 2)).
+			Fetch("o0", other, core.AgeVar(0), core.Idx("z")).
+			Fetch("o1", other, core.AgeVar(0), core.IdxOff("z", 1)).
+			Fetch("o2", other, core.AgeVar(0), core.IdxOff("z", 2)).
+			Store(fmt.Sprintf("keys%d", l), core.AgeVar(0), []core.IndexSpec{core.Idx("z")}, "keys").
+			Body(func(c *core.Ctx) error {
+				y := int(c.Int32("m"))
+				rows := [3][]float64{c.Obj("r0").([]float64), c.Obj("r1").([]float64), c.Obj("r2").([]float64)}
+				oth := [3][]float64{c.Obj("o0").([]float64), c.Obj("o1").([]float64), c.Obj("o2").([]float64)}
+				c.SetObj("keys", sift.ExtremaRow(y, l, rows, oth, threshold))
+				return nil
+			})
+	}
+
+	b.Kernel("collect").Age("a").
+		Local("k0", field.Any, 1).
+		Local("k1", field.Any, 1).
+		Local("n", field.Int32, 0).
+		FetchAll("k0", "keys0", core.AgeVar(0)).
+		FetchAll("k1", "keys1", core.AgeVar(0)).
+		Store("nkeys", core.AgeVar(0), []core.IndexSpec{core.Lit(0)}, "n").
+		Body(func(c *core.Ctx) error {
+			total := 0
+			for _, name := range []string{"k0", "k1"} {
+				arr := c.Array(name)
+				for i := 0; i < arr.Extent(0); i++ {
+					total += len(arr.At(i).Obj().([]sift.Keypoint))
+				}
+			}
+			c.SetInt32("n", int32(total))
+			c.Printf("frame %d: %d keypoints\n", c.Age(), total)
+			return nil
+		})
+
+	p, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("workloads: sift program invalid: %v", err))
+	}
+	return p
+}
+
+// SIFTKeypoints gathers the detected keypoints of one frame from a finished
+// node, sorted by (level, y, x) — the order the sequential reference emits.
+func SIFTKeypoints(n *runtime.Node, age int) ([]sift.Keypoint, error) {
+	var out []sift.Keypoint
+	for l := 0; l < 2; l++ {
+		s, err := n.Snapshot(fmt.Sprintf("keys%d", l), age)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < s.Extent(0); i++ {
+			out = append(out, s.At(i).Obj().([]sift.Keypoint)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	return out, nil
+}

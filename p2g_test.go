@@ -1,0 +1,136 @@
+package p2g
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/video"
+)
+
+// readFile is a tiny indirection so the benchmarks can read testdata without
+// importing os there directly.
+func readFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	return string(data), err
+}
+
+// TestPublicAPIQuickstart exercises the facade end to end: building a
+// program through the re-exported builder, running it, and inspecting graphs
+// — the exact surface the examples use.
+func TestPublicAPIQuickstart(t *testing.T) {
+	b := NewBuilder("api")
+	b.Field("data", Int32, 1, true)
+	b.Field("out", Int32, 1, true)
+	b.Kernel("src").
+		Local("vals", Int32, 1).
+		StoreAll("data", AgeAt(0), "vals").
+		Body(func(c *Ctx) error {
+			for i := 0; i < 3; i++ {
+				c.Array("vals").Put(Int32Value(int32(i)), i)
+			}
+			return nil
+		})
+	b.Kernel("double").Age("a").Index("x").
+		Local("v", Int32, 0).
+		Fetch("v", "data", AgeVar(0), Idx("x")).
+		Store("out", AgeVar(0), []IndexSpec{Idx("x")}, "v").
+		Body(func(c *Ctx) error {
+			c.SetInt32("v", c.Int32("v")*2)
+			return nil
+		})
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode(prog, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := node.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kernel("double").Instances != 3 {
+		t.Errorf("instances %v", rep.Kernels)
+	}
+	s, err := node.Snapshot("out", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(1).Int32() != 2 {
+		t.Errorf("out = %v", s)
+	}
+	if dot := BuildFinal(prog).DOT("api"); !strings.Contains(dot, "double") {
+		t.Error("final graph DOT")
+	}
+	if g := Unroll(BuildFinal(prog), 1); len(g.Nodes) != 4 {
+		t.Errorf("DC-DAG nodes %d", len(g.Nodes))
+	}
+	if BuildIntermediate(prog) == nil {
+		t.Error("intermediate graph")
+	}
+}
+
+func TestPublicWorkloadConstructors(t *testing.T) {
+	if MulSum() == nil {
+		t.Fatal("MulSum")
+	}
+	if p := KMeans(KMeansConfig{N: 10, K: 2, Iter: 2}); p == nil {
+		t.Fatal("KMeans")
+	}
+	opts := KMeansOptions(KMeansConfig{Iter: 3}, 2)
+	if opts.KernelMaxAge["print"] != 3 {
+		t.Errorf("KMeansOptions %v", opts.KernelMaxAge)
+	}
+	if _, err := Fuse(MulSum(), "mul2", "plus5"); err != nil {
+		t.Fatal(err)
+	}
+	clk := NewFakeClock()
+	if clk.Now().IsZero() {
+		t.Error("fake clock")
+	}
+}
+
+// TestFacadeWorkloadsRun drives every workload constructor through the
+// facade end to end at small sizes.
+func TestFacadeWorkloadsRun(t *testing.T) {
+	// MJPEG + stream collection.
+	node, err := NewNode(MJPEG(MJPEGConfig{Source: videoSource(2)}), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := MJPEGStream(node, 2)
+	if err != nil || len(stream) == 0 {
+		t.Fatalf("MJPEGStream: %d bytes, %v", len(stream), err)
+	}
+	// Wavefront.
+	if _, err := Run(Wavefront(WavefrontConfig{Blocks: 4, Frames: 1}), Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// SIFT.
+	if _, err := Run(SIFT(SIFTConfig{Source: videoSource(1)}), Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Value constructors.
+	if Int32Value(3).Int32() != 3 || Int64Value(4).Int64() != 4 || Float64Value(2.5).Float64() != 2.5 {
+		t.Error("value constructors")
+	}
+	if AnyValue("x").Obj() != "x" {
+		t.Error("AnyValue")
+	}
+	arr := NewArray(Int32, 2)
+	arr.Set(Int32Value(7), 1)
+	if arr.At(1).Int32() != 7 {
+		t.Error("NewArray")
+	}
+	// Index spec helpers.
+	if IdxOff("x", 1).String() != "x+1" || All().String() != "" || Lit(2).String() != "2" {
+		t.Error("index spec helpers")
+	}
+}
+
+func videoSource(frames int) video.Source { return video.NewSynthetic(32, 32, frames, 3) }
