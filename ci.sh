@@ -1,0 +1,15 @@
+#!/bin/sh
+# Tier-1 verification gate, equivalent to `make ci`: formatting, vet, build,
+# and the full test suite under the race detector.
+set -eu
+cd "$(dirname "$0")"
+
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$out" >&2
+	exit 1
+fi
+go vet ./...
+go build ./...
+go test -race ./...

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/workloads"
 )
@@ -26,6 +27,7 @@ func main() {
 	nodes := flag.Int("nodes", 2, "execution nodes to wait for")
 	workload := flag.String("workload", "mulsum", "workload spec (mulsum | kmeans:... | mjpeg:...)")
 	method := flag.String("method", "kl", "partitioning method: greedy, kl or tabu")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metricz and the merged cluster /statusz on this address, e.g. :9090")
 	flag.Parse()
 
 	workloads.RegisterPayloads()
@@ -45,6 +47,17 @@ func main() {
 		fail(fmt.Errorf("unknown method %q", *method))
 	}
 
+	view := dist.NewClusterView(*workload)
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		srv := obs.NewServer(*metricsAddr, reg, nil, view.Status)
+		if err := srv.Start(); err != nil {
+			fail(err)
+		}
+		defer srv.Stop()
+		fmt.Fprintf(os.Stderr, "p2g-master: serving introspection on http://%s\n", srv.Addr())
+	}
+
 	l, err := dist.ListenTCP(*listen)
 	if err != nil {
 		fail(err)
@@ -61,7 +74,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p2g-master: node %d/%d connected\n", i+1, *nodes)
 	}
 
-	res, err := dist.RunMaster(dist.MasterConfig{Prog: prog, Method: m, Spec: *workload}, conns)
+	res, err := dist.RunMaster(dist.MasterConfig{Prog: prog, Method: m, Spec: *workload, View: view, Metrics: reg}, conns)
 	if err != nil {
 		fail(err)
 	}

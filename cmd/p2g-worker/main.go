@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
@@ -22,12 +23,30 @@ func main() {
 	id := flag.String("id", "", "node identifier (default: host PID based)")
 	cores := flag.Int("cores", 2, "worker threads on this node")
 	speed := flag.Float64("speed", 1, "relative speed factor reported to the master")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of this node's kernel instances")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metricz, /statusz and /tracez on this address, e.g. :9091")
 	flag.Parse()
 
 	workloads.RegisterPayloads()
 	if *id == "" {
 		host, _ := os.Hostname()
 		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		srv := obs.NewServer(*metricsAddr, reg, tracer, func() any {
+			return map[string]any{"node": *id, "cores": *cores, "master": *master}
+		})
+		if err := srv.Start(); err != nil {
+			fail(err)
+		}
+		defer srv.Stop()
+		fmt.Fprintf(os.Stderr, "p2g-worker: serving introspection on http://%s\n", srv.Addr())
 	}
 
 	conn, err := dist.DialTCP(*master)
@@ -41,9 +60,23 @@ func main() {
 		Factory:       workloads.FromSpec,
 		BoundsFactory: workloads.SpecBounds,
 		Output:        os.Stdout,
+		Metrics:       reg,
+		Tracer:        tracer,
 	}, conn)
 	if err != nil {
 		fail(err)
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "p2g-worker %s: done\n%s", *id, rep.Table())
 }

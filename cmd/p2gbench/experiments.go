@@ -46,8 +46,12 @@ func kmeansCfg() workloads.KMeansConfig {
 	return workloads.KMeansConfig{N: *kmN, K: *kmK, Iter: *kmIters, Dim: 2, Seed: 7}
 }
 
-// runInstrumented executes a workload once and returns its report.
+// runInstrumented executes a workload once and returns its report. When the
+// -trace or -metrics-addr flags are set, the run feeds the global tracer and
+// registry (nil otherwise: zero observability overhead).
 func runInstrumented(prog *core.Program, opts runtime.Options) (*runtime.Report, error) {
+	opts.Metrics = benchReg
+	opts.Tracer = benchTracer
 	node, err := runtime.NewNode(prog, opts)
 	if err != nil {
 		return nil, err

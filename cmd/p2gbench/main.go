@@ -18,16 +18,27 @@ import (
 	"os"
 	"runtime"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 var (
-	runs       = flag.Int("runs", 3, "repetitions per configuration (paper: 10)")
-	maxWorkers = flag.Int("maxworkers", 8, "largest worker-thread count in sweeps")
-	frames     = flag.Int("frames", 50, "MJPEG frames (paper: 50)")
-	kmN        = flag.Int("n", 2000, "K-means datapoints (paper: 2000)")
-	kmK        = flag.Int("k", 100, "K-means clusters (paper: 100)")
-	kmIters    = flag.Int("iters", 10, "K-means iterations (paper: 10)")
-	simCores   = flag.Int("simcores", 8, "core count of the simulated machines for fig9/fig10")
+	runs        = flag.Int("runs", 3, "repetitions per configuration (paper: 10)")
+	maxWorkers  = flag.Int("maxworkers", 8, "largest worker-thread count in sweeps")
+	frames      = flag.Int("frames", 50, "MJPEG frames (paper: 50)")
+	kmN         = flag.Int("n", 2000, "K-means datapoints (paper: 2000)")
+	kmK         = flag.Int("k", 100, "K-means clusters (paper: 100)")
+	kmIters     = flag.Int("iters", 10, "K-means iterations (paper: 10)")
+	simCores    = flag.Int("simcores", 8, "core count of the simulated machines for fig9/fig10")
+	tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON of every instrumented run's kernel instances")
+	metricsAddr = flag.String("metrics-addr", "", "serve /metricz, /statusz and /tracez on this address while experiments run, e.g. :9090")
+)
+
+// benchReg and benchTracer instrument every experiment's instrumented runs
+// when the corresponding flag is set; both nil (zero overhead) otherwise.
+var (
+	benchReg    *obs.Registry
+	benchTracer *obs.Tracer
 )
 
 type experiment struct {
@@ -40,6 +51,23 @@ func main() {
 	which := flag.String("experiment", "all", "experiment id or 'all'")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
+
+	if *tracePath != "" {
+		benchTracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
+	var current string
+	if *metricsAddr != "" {
+		benchReg = obs.NewRegistry()
+		srv := obs.NewServer(*metricsAddr, benchReg, benchTracer, func() any {
+			return map[string]string{"tool": "p2gbench", "experiment": current}
+		})
+		if err := srv.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "p2gbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Stop()
+		fmt.Fprintf(os.Stderr, "p2gbench: serving introspection on http://%s\n", srv.Addr())
+	}
 
 	experiments := []experiment{
 		{"tableI", "test machine description (paper Table I)", tableI},
@@ -67,6 +95,7 @@ func main() {
 			continue
 		}
 		ran = true
+		current = e.name
 		fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
 		if err := e.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "p2gbench: %s: %v\n", e.name, err)
@@ -78,6 +107,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p2gbench: unknown experiment %q (use -list)\n", *which)
 		os.Exit(2)
 	}
+	if benchTracer != nil {
+		if err := writeTrace(benchTracer, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "p2gbench: %v\n", err)
+			os.Exit(1)
+		}
+		if n := benchTracer.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "p2gbench: trace ring overflowed, oldest %d spans dropped\n", n)
+		}
+	}
+}
+
+func writeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return f.Close()
 }
 
 func tableI() error {

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
@@ -22,8 +23,10 @@ func main() {
 	maxAge := flag.Int("maxage", 0, "global age bound (0 = unbounded)")
 	bounds := flag.String("bound", "", "per-kernel age bounds, e.g. assign=9,refine=9,print=10")
 	stats := flag.Bool("stats", false, "print the instrumentation table after the run")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of kernel instances (open in chrome://tracing or ui.perfetto.dev)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metricz, /statusz and /tracez on this address during the run, e.g. :9090")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: p2grun [-workers N] [-maxage N] [-bound k=a,...] [-stats] program.p2g")
+		fmt.Fprintln(os.Stderr, "usage: p2grun [-workers N] [-maxage N] [-bound k=a,...] [-stats] [-trace out.json] [-metrics-addr :9090] program.p2g")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,6 +45,25 @@ func main() {
 	}
 
 	opts := runtime.Options{Workers: *workers, MaxAge: *maxAge, Output: os.Stdout}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+		opts.Tracer = tracer
+	}
+	var reg *obs.Registry
+	var report *runtime.Report
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
+		srv := obs.NewServer(*metricsAddr, reg, tracer, func() any {
+			return map[string]any{"program": path, "workers": *workers, "report": report}
+		})
+		if err := srv.Start(); err != nil {
+			fail("%v", err)
+		}
+		defer srv.Stop()
+		fmt.Fprintf(os.Stderr, "p2grun: serving introspection on http://%s\n", srv.Addr())
+	}
 	if *bounds != "" {
 		opts.KernelMaxAge = map[string]int{}
 		for _, part := range strings.Split(*bounds, ",") {
@@ -57,9 +79,24 @@ func main() {
 		}
 	}
 
-	report, err := runtime.Run(prog, opts)
+	report, err = runtime.Run(prog, opts)
 	if err != nil {
 		fail("%v", err)
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fail("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		if n := tracer.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "p2grun: trace ring overflowed, oldest %d spans dropped\n", n)
+		}
 	}
 	if len(report.Stalled) > 0 {
 		fmt.Fprintln(os.Stderr, "p2grun: warning: stalled kernel-ages (unsatisfied dependencies):")

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/sched"
 )
@@ -29,6 +30,11 @@ type MasterConfig struct {
 	// PollInterval is the quiescence-detection ping period; zero selects
 	// 2ms.
 	PollInterval time.Duration
+	// View, when set, is kept current with the run's phase, assignment and
+	// per-worker heartbeats — it backs the master's /statusz endpoint.
+	View *ClusterView
+	// Metrics, when set, instruments the master's shadow node.
+	Metrics *obs.Registry
 }
 
 // MasterResult is the outcome of a distributed run.
@@ -72,7 +78,9 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 		}
 		ids[i] = m.NodeID
 		topo = topo.Add(m.NodeID, m.Cores, m.Speed)
+		cfg.View.registerWorker(i, m.NodeID, m.Cores, m.Speed)
 	}
+	cfg.View.setPhase("partitioning")
 
 	// Partition the final implicit static dependency graph, weighted with
 	// prior instrumentation when available.
@@ -93,6 +101,7 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 		kernelNode[kn.Name] = assign[i]
 		kernelsOf[assign[i]] = append(kernelsOf[assign[i]], kn.Name)
 	}
+	cfg.View.setAssignment(kernelNode, cfg.Method.String())
 
 	// Subscriber maps: which workers consume each field, and which workers
 	// need each kernel's completion events (they consume a field it
@@ -138,6 +147,7 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 		Workers:       1,
 		RemoteKernels: allRemote,
 		NoAutoQuiesce: true,
+		Metrics:       cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -159,6 +169,7 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 			return nil, err
 		}
 	}
+	cfg.View.setPhase("running")
 
 	// Broker loop: fan worker events to subscribers and the shadow.
 	type inbound struct {
@@ -204,6 +215,7 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 	defer ticker.Stop()
 
 	fail := func(err error) (*MasterResult, error) {
+		cfg.View.setPhase("failed: " + err.Error())
 		for _, c := range conns {
 			c.Close()
 		}
@@ -240,8 +252,10 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 			case MStatus:
 				status[in.from] = *m
 				statusSeen[in.from] = true
+				cfg.View.updateWorker(in.from, m.Idle, m.Sent, m.Received, m.Metrics)
 			case MReport:
 				reports[ids[in.from]] = m.Report
+				cfg.View.workerDone(in.from, m.Report)
 			case MError:
 				return fail(fmt.Errorf("dist: worker %s failed: %s", ids[in.from], m.Err))
 			}
@@ -288,6 +302,7 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 	for _, c := range conns {
 		c.Close()
 	}
+	cfg.View.setPhase("done")
 	return &MasterResult{
 		Assignment: kernelNode,
 		Cost:       cost,

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"repro/internal/field"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
@@ -49,6 +50,9 @@ type Msg struct {
 	Idle     bool
 	Sent     int64
 	Received int64
+	// Metrics is the worker's registry snapshot, carried on every
+	// heartbeat so the master's /statusz shows live per-kernel stats.
+	Metrics *obs.MetricsSnapshot
 
 	// MReport
 	Report *runtime.Report

@@ -17,8 +17,10 @@ package dist
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Conn is a bidirectional, ordered message channel between two nodes.
@@ -26,6 +28,37 @@ type Conn interface {
 	Send(*Msg) error
 	Recv() (*Msg, error)
 	Close() error
+}
+
+// ConnStats holds cumulative transport counters for one connection end.
+// Byte counts cover the encoded wire form; the in-process transport moves
+// pointers, so its byte counts stay zero.
+type ConnStats struct {
+	SentMsgs  int64
+	RecvMsgs  int64
+	SentBytes int64
+	RecvBytes int64
+}
+
+// StatsReporter is implemented by transports that count their traffic; the
+// worker and master fold these counters into metrics and reports.
+type StatsReporter interface {
+	Stats() ConnStats
+}
+
+// connStats tracks a connection's traffic with atomics (Send and Recv run
+// on different goroutines).
+type connStats struct {
+	sentMsgs, recvMsgs, sentBytes, recvBytes atomic.Int64
+}
+
+func (s *connStats) Stats() ConnStats {
+	return ConnStats{
+		SentMsgs:  s.sentMsgs.Load(),
+		RecvMsgs:  s.recvMsgs.Load(),
+		SentBytes: s.sentBytes.Load(),
+		RecvBytes: s.recvBytes.Load(),
+	}
 }
 
 // Listener accepts inbound connections.
@@ -43,6 +76,7 @@ type inprocConn struct {
 	once sync.Once
 	done chan struct{}
 	peer *inprocConn
+	connStats
 }
 
 // InprocPipe returns a connected pair of in-process connections.
@@ -71,6 +105,7 @@ func (c *inprocConn) Send(m *Msg) error {
 	case <-c.peer.done:
 		return fmt.Errorf("dist: peer closed")
 	case c.out <- m:
+		c.sentMsgs.Add(1)
 		return nil
 	}
 }
@@ -78,6 +113,7 @@ func (c *inprocConn) Send(m *Msg) error {
 func (c *inprocConn) Recv() (*Msg, error) {
 	select {
 	case m := <-c.in:
+		c.recvMsgs.Add(1)
 		return m, nil
 	case <-c.done:
 		return nil, fmt.Errorf("dist: connection closed")
@@ -85,6 +121,7 @@ func (c *inprocConn) Recv() (*Msg, error) {
 		// Drain anything already queued before reporting closure.
 		select {
 		case m := <-c.in:
+			c.recvMsgs.Add(1)
 			return m, nil
 		default:
 			return nil, fmt.Errorf("dist: peer closed")
@@ -104,6 +141,31 @@ type tcpConn struct {
 	enc *gob.Encoder
 	dec *gob.Decoder
 	mu  sync.Mutex
+	connStats
+}
+
+// countingWriter / countingReader wrap the TCP stream so the gob encoders
+// count encoded wire bytes as a side effect.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
 }
 
 // DialTCP connects to a master's TCP listener.
@@ -116,13 +178,20 @@ func DialTCP(addr string) (Conn, error) {
 }
 
 func newTCPConn(nc net.Conn) Conn {
-	return &tcpConn{nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}
+	c := &tcpConn{nc: nc}
+	c.enc = gob.NewEncoder(countingWriter{w: nc, n: &c.sentBytes})
+	c.dec = gob.NewDecoder(countingReader{r: nc, n: &c.recvBytes})
+	return c
 }
 
 func (c *tcpConn) Send(m *Msg) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.enc.Encode(m)
+	if err := c.enc.Encode(m); err != nil {
+		return err
+	}
+	c.sentMsgs.Add(1)
+	return nil
 }
 
 func (c *tcpConn) Recv() (*Msg, error) {
@@ -130,6 +199,7 @@ func (c *tcpConn) Recv() (*Msg, error) {
 	if err := c.dec.Decode(m); err != nil {
 		return nil, err
 	}
+	c.recvMsgs.Add(1)
 	return m, nil
 }
 

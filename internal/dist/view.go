@@ -1,0 +1,194 @@
+package dist
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runtime"
+)
+
+// ClusterView is a thread-safe, continuously updated view of a running
+// master node, built for the /statusz introspection endpoint: the current
+// phase, the partition assignment, and per-worker status merged from
+// heartbeats (idle state, event counters, and the kernel stats carried in
+// each worker's metric snapshot). All mutating methods are safe on a nil
+// receiver, so RunMaster updates its view unconditionally.
+type ClusterView struct {
+	mu sync.Mutex
+	st ClusterStatus
+}
+
+// ClusterStatus is the JSON shape served by /statusz on a master.
+type ClusterStatus struct {
+	Workload   string         `json:"workload,omitempty"`
+	Phase      string         `json:"phase"`
+	Method     string         `json:"method,omitempty"`
+	Assignment map[string]int `json:"assignment,omitempty"`
+	Workers    []WorkerStatus `json:"workers,omitempty"`
+	// Cluster is the merge of all worker metric snapshots: counters and
+	// gauges sum, histogram buckets add — the whole-cluster totals.
+	Cluster *obs.MetricsSnapshot `json:"cluster,omitempty"`
+}
+
+// WorkerStatus is one worker's row in the cluster view.
+type WorkerStatus struct {
+	ID       string    `json:"id"`
+	Cores    int       `json:"cores"`
+	Speed    float64   `json:"speed"`
+	Idle     bool      `json:"idle"`
+	Sent     int64     `json:"sent"`
+	Received int64     `json:"received"`
+	Done     bool      `json:"done"`
+	LastSeen time.Time `json:"last_seen,omitempty"`
+	// Kernels is derived live from the heartbeat metric snapshot (and
+	// replaced by the final report's rows once the worker is done).
+	Kernels []runtime.KernelStats `json:"kernels,omitempty"`
+	// Metrics is the worker's latest raw snapshot.
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+// NewClusterView creates a view in the "waiting" phase.
+func NewClusterView(workload string) *ClusterView {
+	return &ClusterView{st: ClusterStatus{Workload: workload, Phase: "waiting"}}
+}
+
+// Status returns a copy of the current cluster state (typed any so it plugs
+// directly into obs.NewServer's status callback).
+func (v *ClusterView) Status() any {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := v.st
+	out.Workers = append([]WorkerStatus(nil), v.st.Workers...)
+	if len(out.Workers) > 0 {
+		merged := &obs.MetricsSnapshot{
+			Counters:   map[string]int64{},
+			Gauges:     map[string]int64{},
+			Histograms: map[string]obs.HistogramSnapshot{},
+		}
+		have := false
+		for _, w := range out.Workers {
+			if w.Metrics != nil {
+				merged.Merge(w.Metrics)
+				have = true
+			}
+		}
+		if have {
+			out.Cluster = merged
+		}
+	}
+	return out
+}
+
+func (v *ClusterView) setPhase(phase string) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.st.Phase = phase
+}
+
+func (v *ClusterView) registerWorker(i int, id string, cores int, speed float64) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.st.Workers) <= i {
+		v.st.Workers = append(v.st.Workers, WorkerStatus{})
+	}
+	v.st.Workers[i] = WorkerStatus{ID: id, Cores: cores, Speed: speed}
+}
+
+func (v *ClusterView) setAssignment(assign map[string]int, method string) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.st.Assignment = assign
+	v.st.Method = method
+}
+
+// updateWorker folds one heartbeat into the view.
+func (v *ClusterView) updateWorker(i int, idle bool, sent, received int64, snap *obs.MetricsSnapshot) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if i < 0 || i >= len(v.st.Workers) {
+		return
+	}
+	w := &v.st.Workers[i]
+	w.Idle = idle
+	w.Sent = sent
+	w.Received = received
+	w.LastSeen = time.Now()
+	if snap != nil {
+		w.Metrics = snap
+		w.Kernels = KernelStatsFromSnapshot(snap)
+	}
+}
+
+// workerDone records the final report of one worker.
+func (v *ClusterView) workerDone(i int, rep *runtime.Report) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if i < 0 || i >= len(v.st.Workers) {
+		return
+	}
+	v.st.Workers[i].Done = true
+	v.st.Workers[i].Idle = true
+	if rep != nil {
+		v.st.Workers[i].Kernels = append([]runtime.KernelStats(nil), rep.Kernels...)
+	}
+}
+
+// KernelStatsFromSnapshot reconstructs per-kernel stats rows from the
+// labeled kernel counters of a metric snapshot, sorted by kernel name. This
+// is how the master shows live Table II/III rows for a worker mid-run.
+func KernelStatsFromSnapshot(s *obs.MetricsSnapshot) []runtime.KernelStats {
+	if s == nil {
+		return nil
+	}
+	rows := map[string]*runtime.KernelStats{}
+	row := func(kernel string) *runtime.KernelStats {
+		if r, ok := rows[kernel]; ok {
+			return r
+		}
+		r := &runtime.KernelStats{Name: kernel}
+		rows[kernel] = r
+		return r
+	}
+	for full, val := range s.Counters {
+		name, kernel := obs.SplitLabel(full)
+		if kernel == "" {
+			continue
+		}
+		switch name {
+		case obs.MKernelInstances:
+			row(kernel).Instances = val
+		case obs.MKernelDispatchNs:
+			row(kernel).DispatchTotal = time.Duration(val)
+		case obs.MKernelTimeNs:
+			row(kernel).KernelTotal = time.Duration(val)
+		case obs.MKernelStoreOps:
+			row(kernel).StoreOps = val
+		}
+	}
+	out := make([]runtime.KernelStats, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
@@ -35,6 +36,13 @@ type WorkerConfig struct {
 	MaxAge       int
 	KernelMaxAge map[string]int
 	Granularity  map[string]int
+
+	// Metrics receives the node's full instrumentation and is snapshotted
+	// into every status heartbeat; when nil a private registry is created
+	// so the master's cluster view still sees live per-kernel stats.
+	Metrics *obs.Registry
+	// Tracer records kernel-instance lifecycle spans on this node.
+	Tracer *obs.Tracer
 }
 
 // RunWorker executes one node of a distributed run over an established
@@ -94,6 +102,25 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 		}
 	}
 
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	// updateTransport folds the connection's traffic counters into the
+	// registry (as gauges: each sample replaces the last) right before a
+	// snapshot or report, so heartbeats carry current transport totals.
+	updateTransport := func() ConnStats {
+		var st ConnStats
+		if sr, ok := conn.(StatsReporter); ok {
+			st = sr.Stats()
+			reg.Gauge(obs.MTransportSentMsgs).Set(st.SentMsgs)
+			reg.Gauge(obs.MTransportRecvMsgs).Set(st.RecvMsgs)
+			reg.Gauge(obs.MTransportSentBytes).Set(st.SentBytes)
+			reg.Gauge(obs.MTransportRecvBytes).Set(st.RecvBytes)
+		}
+		return st
+	}
+
 	node, err := runtime.NewNode(prog, runtime.Options{
 		Workers:       cfg.Cores,
 		MaxAge:        cfg.MaxAge,
@@ -102,6 +129,8 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 		Output:        cfg.Output,
 		RemoteKernels: remote,
 		NoAutoQuiesce: true,
+		Metrics:       reg,
+		Tracer:        cfg.Tracer,
 		OnStore: func(sn runtime.StoreNotice) {
 			sent.Add(1)
 			send(&Msg{Kind: MStore, Store: sn})
@@ -167,7 +196,8 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 				return rep, err
 			}
 		case MPing:
-			send(&Msg{Kind: MStatus, Idle: node.Idle(), Sent: sent.Load(), Received: received.Load()})
+			updateTransport()
+			send(&Msg{Kind: MStatus, Idle: node.Idle(), Sent: sent.Load(), Received: received.Load(), Metrics: reg.Snapshot()})
 		case MSnapshotReq:
 			arr, err := node.Snapshot(m.Field, m.Age)
 			if err != nil {
@@ -181,6 +211,12 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 			if runErr != nil {
 				send(&Msg{Kind: MError, Err: runErr.Error()})
 				return rep, runErr
+			}
+			if st := updateTransport(); rep != nil {
+				rep.SentMsgs = st.SentMsgs
+				rep.RecvMsgs = st.RecvMsgs
+				rep.SentBytes = st.SentBytes
+				rep.RecvBytes = st.RecvBytes
 			}
 			send(&Msg{Kind: MReport, Report: rep})
 			conn.Close()

@@ -1,0 +1,381 @@
+// Package obs is the observability substrate of the P2G reproduction: a
+// lock-free metrics registry (counters, gauges, fixed-bucket latency
+// histograms), a bounded-ring kernel-instance tracer exportable as Chrome
+// trace_event JSON, and live introspection HTTP endpoints (/metricz,
+// /statusz, /tracez) mounted by the cmd binaries.
+//
+// The paper's evaluation (Tables II-III, figures 9-10) is built entirely on
+// per-kernel instrumentation; this package turns that post-hoc accounting
+// into a live measurement substrate, in the spirit of Thrill's built-in
+// stats layer and TaskTorrent's task-level profiling. Everything is
+// stdlib-only and nil-safe: methods on nil metrics and a nil *Registry are
+// no-ops, so instrumentation can be threaded unconditionally through hot
+// paths and costs a nil check when disabled.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d. Safe on a nil receiver.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value; zero on a nil receiver.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue depth, memory, backlog).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d. Safe on a nil receiver.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Load returns the current value; zero on a nil receiver.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of latency histograms: bucket i
+// counts observations with value < 1µs·2^i, the last bucket is a catch-all.
+// 2^26 µs ≈ 67s comfortably covers any single dispatch.
+const histBuckets = 27
+
+// Histogram is a fixed-bucket latency histogram with exponential
+// (power-of-two microsecond) bucket bounds. All updates are single atomic
+// adds; there is no locking anywhere.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us)) // 0 for <1µs, 1 for 1µs, ...
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one duration. Safe on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// Count returns the number of observations; zero on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// SumNs returns the sum of all observed durations in nanoseconds.
+func (h *Histogram) SumNs() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sumNs.Load()
+}
+
+// Snapshot copies the histogram state. The result is self-consistent enough
+// for reporting (buckets are read while writers may run; totals can be off
+// by in-flight observations).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sumNs.Load()
+	s.Buckets = make([]int64, histBuckets)
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is the gob/JSON-friendly frozen form of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	SumNs   int64
+	Buckets []int64
+}
+
+// BucketBoundUS returns the upper bound (exclusive) of bucket i in
+// microseconds; the last bucket has no bound (returns -1).
+func BucketBoundUS(i int) int64 {
+	if i >= histBuckets-1 {
+		return -1
+	}
+	return 1 << i
+}
+
+// Quantile estimates the q-quantile (0..1) from the bucket counts, assuming
+// observations sit at their bucket's upper bound.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum > rank {
+			b := BucketBoundUS(i)
+			if b < 0 { // catch-all: fall back to the mean
+				return time.Duration(s.SumNs / s.Count)
+			}
+			return time.Duration(b) * time.Microsecond
+		}
+	}
+	return time.Duration(s.SumNs / s.Count)
+}
+
+// merge adds other's buckets into s (resizing as needed) and returns s.
+func (s HistogramSnapshot) merge(other HistogramSnapshot) HistogramSnapshot {
+	s.Count += other.Count
+	s.SumNs += other.SumNs
+	if len(s.Buckets) < len(other.Buckets) {
+		s.Buckets = append(s.Buckets, make([]int64, len(other.Buckets)-len(s.Buckets))...)
+	}
+	for i, n := range other.Buckets {
+		s.Buckets[i] += n
+	}
+	return s
+}
+
+// Registry is a named-metric registry. Registration (get-or-create) takes a
+// lock-free fast path once a metric exists; updates on the returned handles
+// are plain atomics. A nil *Registry hands out nil metrics, whose methods
+// are no-ops, so callers thread registries unconditionally.
+type Registry struct {
+	counters sync.Map // name -> *Counter
+	gauges   sync.Map // name -> *Gauge
+	hists    sync.Map // name -> *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := r.counters.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := r.gauges.LoadOrStore(name, &Gauge{})
+	return v.(*Gauge)
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.hists.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := r.hists.LoadOrStore(name, &Histogram{})
+	return v.(*Histogram)
+}
+
+// Label renders a metric name with one label in the conventional
+// `name{key="value"}` form, so flat registry names read naturally in
+// /metricz output.
+func Label(name, key, value string) string {
+	return name + `{` + key + `="` + value + `"}`
+}
+
+// SplitLabel splits a `name{key="value"}` metric name into its base name and
+// label value; names without a label return the value "".
+func SplitLabel(full string) (name, value string) {
+	i := strings.IndexByte(full, '{')
+	if i < 0 {
+		return full, ""
+	}
+	name = full[:i]
+	rest := full[i:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return name, ""
+	}
+	rest = rest[j+1:]
+	k := strings.IndexByte(rest, '"')
+	if k < 0 {
+		return name, ""
+	}
+	return name, rest[:k]
+}
+
+// MetricsSnapshot is a frozen copy of a registry, suitable for gob transfer
+// inside worker heartbeats and for merging into a cluster view.
+type MetricsSnapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot freezes the registry's current values. Returns nil on a nil
+// registry.
+func (r *Registry) Snapshot() *MetricsSnapshot {
+	if r == nil {
+		return nil
+	}
+	s := &MetricsSnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	r.counters.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(*Counter).Load()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		s.Gauges[k.(string)] = v.(*Gauge).Load()
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		s.Histograms[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	return s
+}
+
+// Merge folds other into s: counters, gauges and histogram buckets sum.
+// (Summing gauges matches the cluster-view use: total queue depth / memory
+// across workers.) A nil other is a no-op.
+func (s *MetricsSnapshot) Merge(other *MetricsSnapshot) {
+	if s == nil || other == nil {
+		return
+	}
+	for k, v := range other.Counters {
+		s.Counters[k] += v
+	}
+	for k, v := range other.Gauges {
+		s.Gauges[k] += v
+	}
+	for k, v := range other.Histograms {
+		s.Histograms[k] = s.Histograms[k].merge(v)
+	}
+}
+
+// WriteText renders the snapshot in a flat, Prometheus-like text format:
+// one `name value` line per counter/gauge, and `_count`/`_sum_ns`/`_p50_us`/
+// `_p99_us` lines per histogram, sorted by name.
+func (s *MetricsSnapshot) WriteText(w io.Writer) error {
+	if s == nil {
+		_, err := io.WriteString(w, "# metrics disabled\n")
+		return err
+	}
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+4*len(s.Histograms))
+	for k, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, h := range s.Histograms {
+		lines = append(lines,
+			fmt.Sprintf("%s_count %d", k, h.Count),
+			fmt.Sprintf("%s_sum_ns %d", k, h.SumNs),
+			fmt.Sprintf("%s_p50_us %d", k, h.Quantile(0.5).Microseconds()),
+			fmt.Sprintf("%s_p99_us %d", k, h.Quantile(0.99).Microseconds()))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText renders the registry's current values (see
+// MetricsSnapshot.WriteText).
+func (r *Registry) WriteText(w io.Writer) error { return r.Snapshot().WriteText(w) }
+
+// Canonical metric names used across the runtime, distributed layer and
+// scheduler. Per-kernel metrics attach the kernel name with Label(...,
+// "kernel", name).
+const (
+	// Runtime (one execution node).
+	MDispatchesTotal  = "runtime_dispatches_total"    // counter: kernel instances dispatched
+	MFetchNs          = "runtime_fetch_ns"            // histogram: per-dispatch fetch+context time
+	MKernelNs         = "runtime_kernel_ns"           // histogram: per-dispatch kernel-body time
+	MStoreNs          = "runtime_store_ns"            // histogram: per-dispatch store+event time
+	MReadyQueueDepth  = "runtime_ready_queue_depth"   // gauge: instances in the ready queue
+	MEventBacklog     = "runtime_event_backlog"       // gauge: analyzer events waiting
+	MFieldMemElems    = "runtime_field_mem_elems"     // gauge: live field element slots
+	MOutstandingInsts = "runtime_outstanding_insts"   // gauge: dispatched, not yet committed
+	MKernelInstances  = "kernel_instances_total"      // counter per kernel: instances dispatched
+	MKernelDispatchNs = "kernel_dispatch_ns_total"    // counter per kernel: dispatch overhead
+	MKernelTimeNs     = "kernel_time_ns_total"        // counter per kernel: kernel-body time
+	MKernelStoreOps   = "kernel_store_ops_total"      // counter per kernel: fired store statements
+	MTraceDropped     = "runtime_trace_dropped_total" // counter: spans evicted from the trace ring
+
+	// Transport (one connection end).
+	MTransportSentMsgs  = "transport_sent_msgs_total"
+	MTransportRecvMsgs  = "transport_recv_msgs_total"
+	MTransportSentBytes = "transport_sent_bytes_total"
+	MTransportRecvBytes = "transport_recv_bytes_total"
+)

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Server exposes live introspection endpoints over HTTP:
+//
+//	/metricz  flat text dump of the metrics registry
+//	/statusz  JSON snapshot from the status callback (node or cluster view)
+//	/tracez   Chrome trace_event JSON dump of the tracer ring
+//
+// Start and Stop are idempotent-guarded: a second Start fails, a Stop
+// before Start or a second Stop is a no-op, and Stop does not return until
+// the serving goroutine has exited (no leak).
+type Server struct {
+	addr   string
+	reg    *Registry
+	tracer *Tracer
+	status func() any
+
+	mu      sync.Mutex
+	ln      net.Listener
+	srv     *http.Server
+	done    chan struct{}
+	started bool
+	stopped bool
+}
+
+// NewServer creates an unstarted introspection server. Any of reg, tracer
+// and status may be nil; the corresponding endpoint reports that the source
+// is disabled.
+func NewServer(addr string, reg *Registry, tracer *Tracer, status func() any) *Server {
+	return &Server{addr: addr, reg: reg, tracer: tracer, status: status}
+}
+
+// Start binds the listener and serves in a background goroutine. It returns
+// an error if the server was already started (or already stopped) or the
+// address cannot be bound.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("obs: server already started")
+	}
+	if s.stopped {
+		return fmt.Errorf("obs: server already stopped")
+	}
+	ln, err := net.Listen("tcp", s.addr)
+	if err != nil {
+		return fmt.Errorf("obs: listening on %s: %w", s.addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metricz", s.handleMetricz)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/tracez", s.handleTracez)
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.done = make(chan struct{})
+	s.started = true
+	go func(srv *http.Server, ln net.Listener, done chan struct{}) {
+		srv.Serve(ln) // returns http.ErrServerClosed on Stop
+		close(done)
+	}(s.srv, ln, s.done)
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start), so callers can
+// pass port 0 and discover the ephemeral port.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Stop closes the server and waits for the serving goroutine to exit. Safe
+// to call multiple times and before Start.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped || !s.started {
+		s.stopped = true
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	srv, done := s.srv, s.done
+	s.mu.Unlock()
+	srv.Close()
+	<-done
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.reg.Snapshot().WriteText(w)
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var v any
+	if s.status != nil {
+		v = s.status()
+	}
+	if v == nil {
+		v = map[string]string{"status": "no status source"}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleTracez(w http.ResponseWriter, _ *http.Request) {
+	if s.tracer == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.tracer.WriteChromeTrace(w)
+}

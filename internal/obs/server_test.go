@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runtime_dispatches_total").Add(42)
+	tr := NewTracer(8)
+	tr.Record(Span{Name: "k", Ph: PhaseComplete, TS: 10, Dur: 5})
+	status := func() any { return map[string]any{"phase": "running", "workers": 2} }
+
+	s := NewServer("127.0.0.1:0", reg, tr, status)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/metricz")
+	if code != 200 || !strings.Contains(body, "runtime_dispatches_total 42") {
+		t.Errorf("/metricz = %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz code = %d", code)
+	}
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/statusz not JSON: %v", err)
+	}
+	if st["phase"] != "running" {
+		t.Errorf("/statusz = %v", st)
+	}
+
+	code, body = get(t, base+"/tracez")
+	if code != 200 {
+		t.Fatalf("/tracez code = %d", code)
+	}
+	var f struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &f); err != nil {
+		t.Fatalf("/tracez not JSON: %v", err)
+	}
+	if len(f.TraceEvents) != 1 {
+		t.Errorf("/tracez events = %d, want 1", len(f.TraceEvents))
+	}
+}
+
+func TestServerDoubleStartStop(t *testing.T) {
+	s := NewServer("127.0.0.1:0", nil, nil, nil)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err == nil {
+		t.Error("second Start should fail")
+	}
+	s.Stop()
+	s.Stop() // second Stop is a no-op
+	if err := s.Start(); err == nil {
+		t.Error("Start after Stop should fail")
+	}
+
+	var unstarted Server
+	unstarted.Stop() // Stop before Start is a no-op
+}
+
+// TestServerNoGoroutineLeak starts and stops servers repeatedly and checks
+// the goroutine count settles back to the baseline (the stdlib-only
+// goleak-style check the issue asks for).
+func TestServerNoGoroutineLeak(t *testing.T) {
+	// Warm up the net/http internals that spawn long-lived goroutines once.
+	s0 := NewServer("127.0.0.1:0", nil, nil, nil)
+	if err := s0.Start(); err != nil {
+		t.Fatal(err)
+	}
+	get(t, "http://"+s0.Addr()+"/metricz")
+	s0.Stop()
+	http.DefaultClient.CloseIdleConnections()
+	time.Sleep(20 * time.Millisecond)
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		s := NewServer("127.0.0.1:0", NewRegistry(), NewTracer(4), nil)
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		get(t, fmt.Sprintf("http://%s/statusz", s.Addr()))
+		s.Stop()
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before=%d after=%d (leak)", before, runtime.NumGoroutine())
+}

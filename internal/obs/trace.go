@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span phases, mirroring the Chrome trace_event "ph" field.
+const (
+	PhaseComplete = 'X' // a kernel-instance dispatch with a duration
+	PhaseInstant  = 'i' // a lifecycle tick (commit, kernel-age done)
+)
+
+// Span is one recorded kernel-instance lifecycle event. A complete span
+// covers one dispatch (ready → fetched → executed → stored) with the phase
+// breakdown in WaitNs/FetchNs/KernelNs/StoreNs; instant spans mark the
+// analyzer-side lifecycle ticks (instance committed, kernel-age done).
+type Span struct {
+	Name  string // kernel name
+	Cat   string // "kernel", "commit", "lifecycle"
+	Ph    byte   // PhaseComplete or PhaseInstant
+	TS    int64  // nanoseconds since the tracer started
+	Dur   int64  // span duration in nanoseconds (complete spans)
+	TID   int    // worker goroutine id (0 = analyzer)
+	Age   int    // kernel age coordinate
+	Index []int  // index-variable coordinates (shared, do not mutate)
+
+	// Dispatch phase breakdown, nanoseconds (complete spans only).
+	WaitNs   int64 // ready-queue wait before the dispatch began
+	FetchNs  int64 // context construction + fetches
+	KernelNs int64 // kernel body
+	StoreNs  int64 // store application + event emission
+}
+
+// Tracer records Spans into a bounded ring buffer: when full, the oldest
+// spans are overwritten and counted as dropped. All methods are safe on a
+// nil receiver (no-ops), so tracing costs one nil check when disabled.
+type Tracer struct {
+	start time.Time
+	pid   int
+
+	mu      sync.Mutex
+	buf     []Span
+	next    uint64 // total spans ever recorded
+	dropped *Counter
+}
+
+// DefaultTraceCapacity bounds the ring when NewTracer is given no capacity.
+const DefaultTraceCapacity = 1 << 16
+
+// NewTracer creates a tracer whose ring holds capacity spans (<=0 selects
+// DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{start: time.Now(), pid: 1, buf: make([]Span, 0, capacity)}
+}
+
+// SetPID sets the Chrome-trace process id emitted for this tracer's spans
+// (distributed deployments give each node its own pid lane).
+func (t *Tracer) SetPID(pid int) {
+	if t != nil {
+		t.pid = pid
+	}
+}
+
+// CountDropped reports ring evictions on the given counter.
+func (t *Tracer) CountDropped(c *Counter) {
+	if t != nil {
+		t.dropped = c
+	}
+}
+
+// Now returns nanoseconds since the tracer started; zero on a nil receiver.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start).Nanoseconds()
+}
+
+// Since converts a wall-clock instant into tracer-relative nanoseconds.
+func (t *Tracer) Since(at time.Time) int64 {
+	if t == nil {
+		return 0
+	}
+	return at.Sub(t.start).Nanoseconds()
+}
+
+// Record appends one span, evicting the oldest when the ring is full.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, s)
+	} else {
+		t.buf[t.next%uint64(cap(t.buf))] = s
+		t.dropped.Add(1)
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		copy(out, t.buf)
+		return out
+	}
+	head := int(t.next % uint64(cap(t.buf))) // oldest retained span
+	n := copy(out, t.buf[head:])
+	copy(out[n:], t.buf[:head])
+	return out
+}
+
+// Dropped returns how many spans were evicted from the ring.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.buf) < cap(t.buf) {
+		return 0
+	}
+	return int64(t.next) - int64(cap(t.buf))
+}
+
+// chromeEvent is the trace_event JSON wire form
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTraceFile is the top-level trace_event JSON object.
+type chromeTraceFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the retained spans as Chrome trace_event JSON,
+// loadable in chrome://tracing and Perfetto. Each complete span becomes one
+// slice named after its kernel, carrying age, index and the dispatch phase
+// breakdown as args.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(t.chromeFile()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (t *Tracer) chromeFile() chromeTraceFile {
+	spans := t.Spans()
+	f := chromeTraceFile{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	pid := 1
+	if t != nil {
+		pid = t.pid
+	}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   string(rune(s.Ph)),
+			TS:   float64(s.TS) / 1e3,
+			PID:  pid,
+			TID:  s.TID,
+			Args: map[string]any{"age": s.Age},
+		}
+		if len(s.Index) > 0 {
+			ev.Args["index"] = s.Index
+		}
+		switch s.Ph {
+		case PhaseComplete:
+			ev.Dur = float64(s.Dur) / 1e3
+			ev.Args["wait_us"] = float64(s.WaitNs) / 1e3
+			ev.Args["fetch_us"] = float64(s.FetchNs) / 1e3
+			ev.Args["kernel_us"] = float64(s.KernelNs) / 1e3
+			ev.Args["store_us"] = float64(s.StoreNs) / 1e3
+		case PhaseInstant:
+			ev.S = "t" // thread-scoped tick
+		}
+		f.TraceEvents = append(f.TraceEvents, ev)
+	}
+	return f
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // event is the message kernel instances send to the dependency analyzer. The
@@ -62,6 +63,10 @@ type analyzer struct {
 	// with no pending events or unflushed ready instances.
 	outstanding int
 	dirty       map[*ageTracker]struct{}
+
+	// High-water marks for the report's queue columns.
+	maxQueue   int
+	maxBacklog int
 }
 
 func newAnalyzer(n *Node) *analyzer {
@@ -135,6 +140,9 @@ func (an *analyzer) bootstrap() {
 }
 
 func (an *analyzer) handle(ev event) {
+	if backlog := len(an.n.events); backlog > an.maxBacklog {
+		an.maxBacklog = backlog
+	}
 	switch {
 	case ev.stop:
 		an.stopRequested = true
@@ -304,6 +312,9 @@ func (an *analyzer) setBit(t *ageTracker, is *instState, bit uint32) {
 	}
 	if is.mask == t.ks.fullMask {
 		is.st = instQueued
+		if tr := an.n.tracer; tr != nil {
+			is.readyNs = tr.Now()
+		}
 		t.pending = append(t.pending, is)
 		an.dirty[t] = struct{}{}
 		if len(t.pending) >= t.ks.gran {
@@ -332,6 +343,22 @@ func (an *analyzer) flushPending(t *ageTracker, partial bool) {
 	if len(t.pending) == 0 {
 		delete(an.dirty, t)
 	}
+	if depth := an.n.queue.Len(); depth > an.maxQueue {
+		an.maxQueue = depth
+	}
+	an.updateGauges()
+}
+
+// updateGauges refreshes the node's scheduler gauges; all handles are nil
+// (no-ops) unless detailed metrics are enabled.
+func (an *analyzer) updateGauges() {
+	n := an.n
+	if n.gQueue == nil {
+		return
+	}
+	n.gQueue.Set(int64(n.queue.Len()))
+	n.gBacklog.Set(int64(len(n.events)))
+	n.gOutstand.Set(int64(an.outstanding))
 }
 
 func (an *analyzer) flushDirty() {
@@ -357,6 +384,13 @@ func (an *analyzer) handleDone(ev event) {
 	t := ev.t
 	t.done++
 	ks := t.ks
+	if tr := an.n.tracer; tr != nil {
+		tr.Record(obs.Span{
+			Name: ks.decl.Name, Cat: "commit", Ph: obs.PhaseInstant,
+			TS: tr.Now(), Age: t.age, Index: ev.inst.coords,
+		})
+	}
+	an.updateGauges()
 	if ks.decl.Source() {
 		if ev.stopped || ev.stores == 0 {
 			ks.sourceStopped = true
@@ -375,12 +409,12 @@ func (an *analyzer) handleDone(ev event) {
 // decision (§V-A): when dispatch overhead is not clearly dominated by kernel
 // time, instances are combined into larger slices.
 func (an *analyzer) adapt(ks *kernelState) {
-	n := ks.instances.Load()
+	n := ks.ownInstances()
 	if n == 0 || n%128 != 0 || ks.gran >= 256 {
 		return
 	}
-	disp := ks.dispatchNs.Load() / n
-	kern := ks.kernelNs.Load() / n
+	disp := ks.ownDispatchNs() / n
+	kern := ks.ownKernelNs() / n
 	if kern < 2*disp {
 		ks.gran *= 2
 		if ks.gran > 256 {
@@ -530,6 +564,15 @@ func (an *analyzer) onTrackerComplete(t *ageTracker) {
 	ks := t.ks
 	if cb := an.n.opts.OnKernelDone; cb != nil {
 		cb(ks.decl.Name, t.age)
+	}
+	if tr := an.n.tracer; tr != nil {
+		tr.Record(obs.Span{
+			Name: ks.decl.Name + " done", Cat: "lifecycle", Ph: obs.PhaseInstant,
+			TS: tr.Now(), Age: t.age,
+		})
+	}
+	if an.n.gFieldMem != nil {
+		an.n.gFieldMem.Set(int64(an.n.FieldMemoryElems()))
 	}
 	for i := range ks.decl.Stores {
 		ss := &ks.decl.Stores[i]

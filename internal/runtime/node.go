@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deadline"
 	"repro/internal/field"
+	"repro/internal/obs"
 )
 
 // Options configures an execution node.
@@ -46,6 +47,19 @@ type Options struct {
 	Clock deadline.Clock
 	// EventBuffer sizes the analyzer's event channel; zero selects 4096.
 	EventBuffer int
+
+	// Metrics, when set, receives the node's full instrumentation: the
+	// per-kernel counters behind the Report plus dispatch/fetch/store
+	// latency histograms and queue-depth, event-backlog and field-memory
+	// gauges (see internal/obs for metric names). When nil, the node keeps
+	// a private registry holding only the per-kernel counters the Report
+	// projects, and the detailed metrics are disabled.
+	Metrics *obs.Registry
+	// Tracer, when set, records one lifecycle span per kernel instance
+	// (ready → fetched → executed → stored → committed, with age and index
+	// coordinates) into its bounded ring, exportable as Chrome trace_event
+	// JSON. Nil disables tracing at the cost of one nil check per dispatch.
+	Tracer *obs.Tracer
 
 	// RemoteKernels marks kernels of the program that execute on other
 	// nodes of a distributed deployment: the local analyzer creates no
@@ -122,6 +136,20 @@ type Node struct {
 	runErr error
 
 	report *Report
+
+	// Observability: reg is always non-nil (Options.Metrics or a private
+	// registry) and holds the per-kernel counters the Report projects; the
+	// detailed handles below are nil unless Options.Metrics was set.
+	reg         *obs.Registry
+	tracer      *obs.Tracer
+	mDispatches *obs.Counter
+	hFetch      *obs.Histogram
+	hKernel     *obs.Histogram
+	hStore      *obs.Histogram
+	gQueue      *obs.Gauge
+	gBacklog    *obs.Gauge
+	gFieldMem   *obs.Gauge
+	gOutstand   *obs.Gauge
 }
 
 // lockedWriter serializes kernel Printf output from concurrent workers.
@@ -156,7 +184,25 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 		queue:   newReadyQueue(),
 		events:  make(chan event, opts.EventBuffer),
 		out:     &lockedWriter{w: opts.Output},
+		reg:     opts.Metrics,
+		tracer:  opts.Tracer,
 	}
+	if n.reg == nil {
+		// Private registry: the per-kernel counters always live in a
+		// registry so the Report is a projection of it, but the detailed
+		// node metrics below stay disabled (nil handles are no-ops).
+		n.reg = obs.NewRegistry()
+	} else {
+		n.mDispatches = n.reg.Counter(obs.MDispatchesTotal)
+		n.hFetch = n.reg.Histogram(obs.MFetchNs)
+		n.hKernel = n.reg.Histogram(obs.MKernelNs)
+		n.hStore = n.reg.Histogram(obs.MStoreNs)
+		n.gQueue = n.reg.Gauge(obs.MReadyQueueDepth)
+		n.gBacklog = n.reg.Gauge(obs.MEventBacklog)
+		n.gFieldMem = n.reg.Gauge(obs.MFieldMemElems)
+		n.gOutstand = n.reg.Gauge(obs.MOutstandingInsts)
+	}
+	n.tracer.CountDropped(n.reg.Counter(obs.MTraceDropped))
 	for _, fd := range p.Fields {
 		n.fields[fd.Name] = &fieldState{
 			decl: fd,
@@ -173,7 +219,17 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 		return nil, fmt.Errorf("p2g: field garbage collection cannot be combined with remote kernels (remote consumers are invisible to the local GC)")
 	}
 	for _, kd := range p.Kernels {
-		ks := &kernelState{decl: kd, ages: make(map[int]*ageTracker), gran: 1, remote: opts.RemoteKernels[kd.Name]}
+		ks := &kernelState{
+			decl: kd, ages: make(map[int]*ageTracker), gran: 1, remote: opts.RemoteKernels[kd.Name],
+			instances:  n.reg.Counter(obs.Label(obs.MKernelInstances, "kernel", kd.Name)),
+			dispatchNs: n.reg.Counter(obs.Label(obs.MKernelDispatchNs, "kernel", kd.Name)),
+			kernelNs:   n.reg.Counter(obs.Label(obs.MKernelTimeNs, "kernel", kd.Name)),
+			storeOps:   n.reg.Counter(obs.Label(obs.MKernelStoreOps, "kernel", kd.Name)),
+		}
+		ks.instances0 = ks.instances.Load()
+		ks.dispatchNs0 = ks.dispatchNs.Load()
+		ks.kernelNs0 = ks.kernelNs.Load()
+		ks.storeOps0 = ks.storeOps.Load()
 		if g, ok := opts.Granularity[kd.Name]; ok && g > 0 {
 			ks.gran = g
 		}
@@ -223,7 +279,7 @@ func (n *Node) Run() (*Report, error) {
 	start := time.Now()
 	for i := 0; i < n.opts.Workers; i++ {
 		n.wg.Add(1)
-		go n.worker()
+		go n.worker(i + 1)
 	}
 	an := newAnalyzer(n)
 	an.run()
@@ -342,6 +398,10 @@ func (n *Node) kernelMaxAge(ks *kernelState) int {
 // Timers exposes the node's deadline timers.
 func (n *Node) Timers() *deadline.TimerSet { return n.timers }
 
+// Metrics exposes the node's metrics registry: Options.Metrics when one was
+// supplied, otherwise the private registry backing the Report.
+func (n *Node) Metrics() *obs.Registry { return n.reg }
+
 // Snapshot returns a copy of a field generation after (or during) a run.
 func (n *Node) Snapshot(fieldName string, age int) (*field.Array, error) {
 	fs, ok := n.fields[fieldName]
@@ -363,7 +423,8 @@ func (n *Node) FieldMemoryElems() int {
 
 // worker is one worker goroutine: it pops batches oldest-age-first and
 // executes each instance, emitting store and done events to the analyzer.
-func (n *Node) worker() {
+// The id becomes the tracer's thread lane (the analyzer is lane 0).
+func (n *Node) worker(id int) {
 	defer n.wg.Done()
 	for {
 		b, ok := n.queue.Pop()
@@ -371,7 +432,7 @@ func (n *Node) worker() {
 			return
 		}
 		for _, is := range b.insts {
-			n.exec(b.tracker, is)
+			n.exec(b.tracker, is, id)
 		}
 	}
 }
@@ -379,7 +440,7 @@ func (n *Node) worker() {
 // exec runs one kernel instance: build the context, perform fetches, run the
 // body, apply stores, emit events. Dispatch time (everything but the body)
 // and kernel time (the body) feed the Table II/III instrumentation.
-func (n *Node) exec(t *ageTracker, is *instState) {
+func (n *Node) exec(t *ageTracker, is *instState, worker int) {
 	ks := t.ks
 	kd := ks.decl
 	t0 := time.Now()
@@ -464,6 +525,28 @@ func (n *Node) exec(t *ageTracker, is *instState) {
 	ks.dispatchNs.Add(int64(t1.Sub(t0) + t3.Sub(t2)))
 	ks.kernelNs.Add(int64(t2.Sub(t1)))
 	ks.storeOps.Add(int64(stores))
+
+	// Detailed metrics and tracing (nil handles are no-ops).
+	n.mDispatches.Add(1)
+	n.hFetch.Observe(t1.Sub(t0))
+	n.hKernel.Observe(t2.Sub(t1))
+	n.hStore.Observe(t3.Sub(t2))
+	if tr := n.tracer; tr != nil {
+		ts := tr.Since(t0)
+		wait := int64(0)
+		if is.readyNs > 0 && ts > is.readyNs {
+			wait = ts - is.readyNs
+		}
+		tr.Record(obs.Span{
+			Name: kd.Name, Cat: "kernel", Ph: obs.PhaseComplete,
+			TS: ts, Dur: t3.Sub(t0).Nanoseconds(), TID: worker,
+			Age: t.age, Index: is.coords,
+			WaitNs:   wait,
+			FetchNs:  t1.Sub(t0).Nanoseconds(),
+			KernelNs: t2.Sub(t1).Nanoseconds(),
+			StoreNs:  t3.Sub(t2).Nanoseconds(),
+		})
+	}
 
 	n.events <- event{isDone: true, t: t, inst: is, stores: stores, stopped: ctx.Stopped()}
 }

@@ -36,7 +36,10 @@ func (s KernelStats) KernelPer() time.Duration {
 	return s.KernelTotal / time.Duration(s.Instances)
 }
 
-// Report summarizes one run of an execution node.
+// Report summarizes one run of an execution node. It is a projection of the
+// node's metrics registry (internal/obs): every number here is read from
+// registry counters, so live /metricz scrapes and the post-run report can
+// never disagree.
 type Report struct {
 	// Wall is the end-to-end running time (what figures 9 and 10 plot).
 	Wall time.Duration
@@ -48,17 +51,36 @@ type Report struct {
 	// FieldMemElems is the number of field element slots still allocated
 	// at the end of the run (after garbage collection, if enabled).
 	FieldMemElems int
+
+	// Scheduler queue high-water marks: the deepest the ready queue got
+	// (instances) and the largest analyzer event backlog observed.
+	MaxQueueDepth   int
+	MaxEventBacklog int
+
+	// Transport counters, filled in by the distributed layer (zero for
+	// purely local runs): protocol messages and encoded bytes exchanged
+	// with the master.
+	SentMsgs  int64
+	RecvMsgs  int64
+	SentBytes int64
+	RecvBytes int64
 }
 
 func (n *Node) buildReport(wall time.Duration, an *analyzer) *Report {
-	r := &Report{Wall: wall, FieldMemElems: n.FieldMemoryElems()}
+	r := &Report{
+		Wall:            wall,
+		FieldMemElems:   n.FieldMemoryElems(),
+		MaxQueueDepth:   an.maxQueue,
+		MaxEventBacklog: an.maxBacklog,
+	}
+	n.gFieldMem.Set(int64(r.FieldMemElems))
 	for _, ks := range n.order {
 		r.Kernels = append(r.Kernels, KernelStats{
 			Name:          ks.decl.Name,
-			Instances:     ks.instances.Load(),
-			DispatchTotal: time.Duration(ks.dispatchNs.Load()),
-			KernelTotal:   time.Duration(ks.kernelNs.Load()),
-			StoreOps:      ks.storeOps.Load(),
+			Instances:     ks.ownInstances(),
+			DispatchTotal: time.Duration(ks.ownDispatchNs()),
+			KernelTotal:   time.Duration(ks.ownKernelNs()),
+			StoreOps:      ks.ownStoreOps(),
 		})
 	}
 	if !n.failed() {
@@ -67,10 +89,10 @@ func (n *Node) buildReport(wall time.Duration, an *analyzer) *Report {
 	return r
 }
 
-// MergeReports combines per-node reports into one aggregate: instance counts
-// and times sum per kernel, wall time takes the maximum. Used by the
-// distributed master to feed a whole-cluster profile back into
-// repartitioning.
+// MergeReports combines per-node reports into one aggregate: instance counts,
+// times, field memory and transport traffic sum per kernel/node, wall time
+// and queue high-water marks take the maximum. Used by the distributed
+// master to feed a whole-cluster profile back into repartitioning.
 func MergeReports(reports ...*Report) *Report {
 	merged := &Report{}
 	idx := map[string]int{}
@@ -82,6 +104,17 @@ func MergeReports(reports ...*Report) *Report {
 			merged.Wall = r.Wall
 		}
 		merged.Stalled = append(merged.Stalled, r.Stalled...)
+		merged.FieldMemElems += r.FieldMemElems
+		if r.MaxQueueDepth > merged.MaxQueueDepth {
+			merged.MaxQueueDepth = r.MaxQueueDepth
+		}
+		if r.MaxEventBacklog > merged.MaxEventBacklog {
+			merged.MaxEventBacklog = r.MaxEventBacklog
+		}
+		merged.SentMsgs += r.SentMsgs
+		merged.RecvMsgs += r.RecvMsgs
+		merged.SentBytes += r.SentBytes
+		merged.RecvBytes += r.RecvBytes
 		for _, k := range r.Kernels {
 			i, ok := idx[k.Name]
 			if !ok {
@@ -118,16 +151,30 @@ func (r *Report) TotalInstances() int64 {
 	return t
 }
 
+// fmtMicros renders a duration as microseconds with the unit attached, so
+// header and row cells can share one column width.
+func fmtMicros(d time.Duration) string {
+	return fmt.Sprintf("%.2f µs", float64(d)/1e3)
+}
+
 // Table renders the report in the layout of the paper's micro-benchmark
-// tables: kernel, instances, mean dispatch time, mean kernel time.
+// tables: kernel, instances, mean dispatch time, mean kernel time. Header
+// and rows use identical column widths, so the columns stay aligned. Queue
+// and transport summary lines follow when the run recorded them.
 func (r *Report) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-16s %10s %16s %16s\n", "Kernel", "Instances", "Dispatch Time", "Kernel Time")
 	for _, k := range r.Kernels {
-		fmt.Fprintf(&b, "%-16s %10d %13.2f µs %13.2f µs\n",
-			k.Name, k.Instances,
-			float64(k.DispatchPer())/1e3,
-			float64(k.KernelPer())/1e3)
+		fmt.Fprintf(&b, "%-16s %10d %16s %16s\n",
+			k.Name, k.Instances, fmtMicros(k.DispatchPer()), fmtMicros(k.KernelPer()))
+	}
+	if r.MaxQueueDepth > 0 || r.MaxEventBacklog > 0 {
+		fmt.Fprintf(&b, "queue: max depth %d insts, max event backlog %d\n",
+			r.MaxQueueDepth, r.MaxEventBacklog)
+	}
+	if r.SentMsgs > 0 || r.RecvMsgs > 0 {
+		fmt.Fprintf(&b, "transport: sent %d msgs / %d B, received %d msgs / %d B\n",
+			r.SentMsgs, r.SentBytes, r.RecvMsgs, r.RecvBytes)
 	}
 	return b.String()
 }

@@ -2,10 +2,10 @@ package runtime
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/field"
+	"repro/internal/obs"
 )
 
 // instance states.
@@ -23,6 +23,10 @@ type instState struct {
 	coords []int
 	mask   uint32
 	st     uint8
+	// readyNs is the tracer-relative time the instance became dispatchable
+	// (stamped only when tracing is enabled; the ready queue's mutex orders
+	// the analyzer's write before the worker's read).
+	readyNs int64
 }
 
 // coordKey packs index-variable values into a map key. Extents are limited to
@@ -63,12 +67,26 @@ type kernelState struct {
 	sourceStopped bool
 
 	// Instrumentation (Table II/III): instance count, per-instance
-	// dispatch overhead and kernel-code time, in nanoseconds.
-	instances  atomic.Int64
-	dispatchNs atomic.Int64
-	kernelNs   atomic.Int64
-	storeOps   atomic.Int64
+	// dispatch overhead and kernel-code time, in nanoseconds. The handles
+	// live in the node's metrics registry (per-kernel labeled counters), so
+	// the Report is a projection of the registry rather than a second set
+	// of books.
+	instances  *obs.Counter
+	dispatchNs *obs.Counter
+	kernelNs   *obs.Counter
+	storeOps   *obs.Counter
+	// Registry values at node construction: a shared registry may carry
+	// counts from earlier nodes, and the Report must project only this
+	// node's contribution.
+	instances0, dispatchNs0, kernelNs0, storeOps0 int64
 }
+
+// ownInstances returns the instances dispatched by this node (registry value
+// minus the construction-time baseline); likewise the other own* accessors.
+func (ks *kernelState) ownInstances() int64  { return ks.instances.Load() - ks.instances0 }
+func (ks *kernelState) ownDispatchNs() int64 { return ks.dispatchNs.Load() - ks.dispatchNs0 }
+func (ks *kernelState) ownKernelNs() int64   { return ks.kernelNs.Load() - ks.kernelNs0 }
+func (ks *kernelState) ownStoreOps() int64   { return ks.storeOps.Load() - ks.storeOps0 }
 
 // ageTracker tracks all instances of one kernel at one age: the current index
 // domain, instance satisfaction, and completion.

@@ -23,6 +23,7 @@ import (
 	"repro/internal/deadline"
 	"repro/internal/field"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/workloads"
 )
@@ -118,6 +119,31 @@ type (
 	// Clock abstracts time for deadline tests.
 	Clock = deadline.Clock
 )
+
+// Observability types (set Options.Metrics / Options.Tracer, or serve them
+// with NewObsServer).
+type (
+	// MetricsRegistry collects counters, gauges and latency histograms.
+	MetricsRegistry = obs.Registry
+	// Tracer records kernel-instance lifecycle spans into a bounded ring,
+	// exportable as Chrome trace_event JSON (chrome://tracing, Perfetto).
+	Tracer = obs.Tracer
+	// ObsServer serves the live /metricz, /statusz and /tracez endpoints.
+	ObsServer = obs.Server
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer creates a kernel-instance tracer holding up to capacity spans
+// (<=0 selects the default capacity).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewObsServer creates an unstarted introspection HTTP server; any of reg,
+// tracer and status may be nil.
+func NewObsServer(addr string, reg *MetricsRegistry, tracer *Tracer, status func() any) *ObsServer {
+	return obs.NewServer(addr, reg, tracer, status)
+}
 
 // NewNode builds an execution node for a program.
 func NewNode(p *Program, opts Options) (*Node, error) { return runtime.NewNode(p, opts) }
