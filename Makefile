@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench clean
+.PHONY: all build test race vet fmt-check ci bench bench-full bench-json clean
 
 all: build
 
@@ -24,8 +24,19 @@ fmt-check:
 # suite under the race detector.
 ci: fmt-check vet build race
 
+# bench is the scheduler smoke gate (also run by ci.sh): one iteration of the
+# figure 9/10 sweeps and the dispatch benchmark, enough to catch crashes or
+# stalls in the dispatch fast path without a full measurement run.
 bench:
+	$(GO) test -bench 'Fig9|Fig10|Dispatch' -benchtime=1x -count=1 .
+
+# bench-full is the measurement run over the whole benchmark suite.
+bench-full:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json runs the scheduler A/B benchmarks and emits BENCH_scheduler.json.
+bench-json:
+	scripts/bench_json.sh
 
 clean:
 	$(GO) clean ./...

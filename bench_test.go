@@ -44,25 +44,38 @@ func benchWorkers(b *testing.B, run func(workers int) error) {
 	}
 }
 
-func BenchmarkFig9MJPEG(b *testing.B) {
+func benchFig9MJPEG(b *testing.B, kind runtime.SchedulerKind) {
 	const frames = 2
 	benchWorkers(b, func(w int) error {
 		prog := workloads.MJPEG(workloads.MJPEGConfig{
 			Source:  video.NewCIFSource(frames, 42),
 			FastDCT: true, // keep bench iterations fast; shape is identical
 		})
-		_, err := runtime.Run(prog, runtime.Options{Workers: w})
+		_, err := runtime.Run(prog, runtime.Options{Workers: w, Scheduler: kind})
 		return err
 	})
 }
 
-func BenchmarkFig10KMeans(b *testing.B) {
+func BenchmarkFig9MJPEG(b *testing.B) { benchFig9MJPEG(b, runtime.SchedStealing) }
+
+// BenchmarkFig9MJPEGRefQueue is the A/B baseline on the reference global
+// ready queue (Options.Scheduler = SchedGlobal).
+func BenchmarkFig9MJPEGRefQueue(b *testing.B) { benchFig9MJPEG(b, runtime.SchedGlobal) }
+
+func benchFig10KMeans(b *testing.B, kind runtime.SchedulerKind) {
 	cfg := workloads.KMeansConfig{N: 500, K: 25, Iter: 5, Dim: 2, Seed: 7}
 	benchWorkers(b, func(w int) error {
-		_, err := runtime.Run(workloads.KMeans(cfg), workloads.KMeansOptions(cfg, w))
+		opts := workloads.KMeansOptions(cfg, w)
+		opts.Scheduler = kind
+		_, err := runtime.Run(workloads.KMeans(cfg), opts)
 		return err
 	})
 }
+
+func BenchmarkFig10KMeans(b *testing.B) { benchFig10KMeans(b, runtime.SchedStealing) }
+
+// BenchmarkFig10KMeansRefQueue is the A/B baseline on the reference queue.
+func BenchmarkFig10KMeansRefQueue(b *testing.B) { benchFig10KMeans(b, runtime.SchedGlobal) }
 
 // BenchmarkTableII_DCT measures the work of one yDCT kernel instance with the
 // naive transform — the paper's 170µs row.
@@ -149,17 +162,27 @@ func BenchmarkBaselineKMeansSequential(b *testing.B) {
 
 // BenchmarkDispatch isolates per-instance runtime overhead: mul2/plus5
 // instances do almost no kernel work, so wall time is dominated by dispatch
-// and analysis — the overhead column of Tables II/III.
+// and analysis — the overhead column of Tables II/III. (The per-dispatch
+// fast path itself is measured allocation-free by BenchmarkDispatchInstance
+// in internal/runtime; this whole-run variant includes program build and
+// analyzer work.)
 func BenchmarkDispatch(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		rep, err := runtime.Run(workloads.MulSum(), runtime.Options{Workers: 1, MaxAge: 100})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(float64(rep.Kernel("mul2").DispatchPer().Nanoseconds()), "dispatch-ns/inst")
-		}
+	for _, c := range []struct {
+		name string
+		kind runtime.SchedulerKind
+	}{{"stealing", runtime.SchedStealing}, {"refqueue", runtime.SchedGlobal}} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := runtime.Run(workloads.MulSum(), runtime.Options{Workers: 1, MaxAge: 100, Scheduler: c.kind})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(rep.Kernel("mul2").DispatchPer().Nanoseconds()), "dispatch-ns/inst")
+				}
+			}
+		})
 	}
 }
 

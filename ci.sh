@@ -13,3 +13,7 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+# Scheduler smoke gate: one iteration of the figure 9/10 sweeps and the
+# dispatch benchmark (`make bench`) to catch crashes or stalls in the
+# dispatch fast path.
+go test -bench 'Fig9|Fig10|Dispatch' -benchtime=1x -count=1 .

@@ -52,6 +52,7 @@ func kmeansCfg() workloads.KMeansConfig {
 func runInstrumented(prog *core.Program, opts runtime.Options) (*runtime.Report, error) {
 	opts.Metrics = benchReg
 	opts.Tracer = benchTracer
+	opts.Scheduler = schedulerKind()
 	node, err := runtime.NewNode(prog, opts)
 	if err != nil {
 		return nil, err

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	runtime2 "repro/internal/runtime"
 )
 
 var (
@@ -32,7 +33,16 @@ var (
 	simCores    = flag.Int("simcores", 8, "core count of the simulated machines for fig9/fig10")
 	tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON of every instrumented run's kernel instances")
 	metricsAddr = flag.String("metrics-addr", "", "serve /metricz, /statusz and /tracez on this address while experiments run, e.g. :9090")
+	schedFlag   = flag.String("scheduler", "stealing", "ready-queue implementation: stealing (work-stealing deques) or global (reference queue)")
 )
+
+// schedulerKind maps the -scheduler flag onto Options.Scheduler.
+func schedulerKind() runtime2.SchedulerKind {
+	if *schedFlag == "global" {
+		return runtime2.SchedGlobal
+	}
+	return runtime2.SchedStealing
+}
 
 // benchReg and benchTracer instrument every experiment's instrumented runs
 // when the corresponding flag is set; both nil (zero overhead) otherwise.
@@ -51,6 +61,11 @@ func main() {
 	which := flag.String("experiment", "all", "experiment id or 'all'")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
+
+	if *schedFlag != "stealing" && *schedFlag != "global" {
+		fmt.Fprintf(os.Stderr, "p2gbench: unknown -scheduler %q (want stealing or global)\n", *schedFlag)
+		os.Exit(2)
+	}
 
 	if *tracePath != "" {
 		benchTracer = obs.NewTracer(obs.DefaultTraceCapacity)

@@ -1,0 +1,148 @@
+package p2g
+
+// Scheduler equivalence stress: the work-stealing scheduler must be
+// observationally identical to the reference global queue. Each case runs
+// the same program under both Options.Scheduler settings with randomized
+// (but seeded) worker counts and granularities and compares final field
+// contents and per-kernel instance counts. Run under -race, this doubles as
+// a concurrency stress of the stealing deques and batched event flushes.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/runtime"
+	"repro/internal/video"
+	"repro/internal/workloads"
+)
+
+// fieldFingerprint renders field generations 0..maxAge deterministically.
+func fieldFingerprint(t *testing.T, n *runtime.Node, name string, maxAge int) string {
+	t.Helper()
+	var sb strings.Builder
+	for age := 0; age <= maxAge; age++ {
+		arr, err := n.Snapshot(name, age)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&sb, "%s(%d)=%s\n", name, age, arr.String())
+	}
+	return sb.String()
+}
+
+// reportFingerprint renders per-kernel instance and store counts.
+func reportFingerprint(rep *runtime.Report) string {
+	var sb strings.Builder
+	for _, k := range rep.Kernels {
+		fmt.Fprintf(&sb, "%s: %d insts, %d stores\n", k.Name, k.Instances, k.StoreOps)
+	}
+	return sb.String()
+}
+
+// runBoth executes build() under both schedulers with the given options and
+// returns the two (node, report) pairs for comparison.
+func runBoth(t *testing.T, prog func() *Program, opts runtime.Options) (ref, steal *runtime.Node, refRep, stealRep *runtime.Report) {
+	t.Helper()
+	run := func(kind runtime.SchedulerKind) (*runtime.Node, *runtime.Report) {
+		o := opts
+		o.Scheduler = kind
+		o.Output = io.Discard
+		n, err := runtime.NewNode(prog(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := n.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Stalled) != 0 {
+			t.Fatalf("scheduler %d stalled: %v", kind, rep.Stalled)
+		}
+		return n, rep
+	}
+	ref, refRep = run(runtime.SchedGlobal)
+	steal, stealRep = run(runtime.SchedStealing)
+	return
+}
+
+func TestSchedulerEquivalenceMulSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < 4; round++ {
+		workers := 1 + rng.Intn(8)
+		gran := 1 + rng.Intn(3)
+		maxAge := 10 + rng.Intn(11)
+		opts := runtime.Options{
+			Workers:     workers,
+			MaxAge:      maxAge,
+			Granularity: map[string]int{"mul2": gran},
+		}
+		ref, steal, refRep, stealRep := runBoth(t, MulSum, opts)
+		for _, f := range []string{"m_data", "p_data"} {
+			want := fieldFingerprint(t, ref, f, maxAge)
+			got := fieldFingerprint(t, steal, f, maxAge)
+			if want != got {
+				t.Fatalf("round %d (workers=%d gran=%d): field %s diverged:\nref:\n%s\nstealing:\n%s",
+					round, workers, gran, f, want, got)
+			}
+		}
+		if want, got := reportFingerprint(refRep), reportFingerprint(stealRep); want != got {
+			t.Fatalf("round %d: instance counts diverged:\nref:\n%s\nstealing:\n%s", round, want, got)
+		}
+	}
+}
+
+func TestSchedulerEquivalenceMJPEG(t *testing.T) {
+	const frames = 2
+	rng := rand.New(rand.NewSource(2))
+	for round := 0; round < 2; round++ {
+		workers := 1 + rng.Intn(8)
+		prog := func() *Program {
+			return workloads.MJPEG(workloads.MJPEGConfig{
+				Source:  video.NewSynthetic(32, 32, frames, 7),
+				FastDCT: true,
+			})
+		}
+		ref, steal, refRep, stealRep := runBoth(t, prog, runtime.Options{Workers: workers})
+		want, err := workloads.MJPEGStream(ref, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := workloads.MJPEGStream(steal, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(want) != string(got) {
+			t.Fatalf("round %d (workers=%d): encoded streams differ (%d vs %d bytes)",
+				round, workers, len(want), len(got))
+		}
+		if w, g := reportFingerprint(refRep), reportFingerprint(stealRep); w != g {
+			t.Fatalf("round %d: instance counts diverged:\nref:\n%s\nstealing:\n%s", round, w, g)
+		}
+	}
+}
+
+func TestSchedulerEquivalenceKMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 2; round++ {
+		workers := 1 + rng.Intn(8)
+		gran := 1 + rng.Intn(16)
+		cfg := workloads.KMeansConfig{N: 120, K: 8, Iter: 3, Dim: 2, Seed: 7}
+		opts := workloads.KMeansOptions(cfg, workers)
+		opts.Granularity = map[string]int{"assign": gran}
+		prog := func() *Program { return workloads.KMeans(cfg) }
+		ref, steal, refRep, stealRep := runBoth(t, prog, opts)
+		for _, f := range []string{"centroids", "membership"} {
+			want := fieldFingerprint(t, ref, f, cfg.Iter)
+			got := fieldFingerprint(t, steal, f, cfg.Iter)
+			if want != got {
+				t.Fatalf("round %d (workers=%d gran=%d): field %s diverged", round, workers, gran, f)
+			}
+		}
+		if w, g := reportFingerprint(refRep), reportFingerprint(stealRep); w != g {
+			t.Fatalf("round %d: instance counts diverged:\nref:\n%s\nstealing:\n%s", round, w, g)
+		}
+	}
+}

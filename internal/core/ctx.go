@@ -23,38 +23,83 @@ import (
 //
 // Leaving a store's source local unbound suppresses that store, which is how
 // kernels take alternate code paths (deadline timeouts, end of stream).
+//
+// A Ctx is sized once for its kernel and can be reused across instances via
+// Reset, which is how the runtime's pooled dispatch path avoids per-instance
+// allocation. Locals are kept in slices parallel to the kernel's Locals
+// declaration; lookups by name are linear scans over the handful of locals a
+// kernel declares, which beats map construction on the hot path.
 type Ctx struct {
 	kernel *KernelDecl
 	age    int
-	index  map[string]int
-	vals   map[string]field.Value
-	bound  map[string]bool
+	// coords holds the instance's index-variable values in IndexVars order
+	// (aliased from the scheduler's instance state, never mutated here).
+	coords []int
+	vals   []field.Value
+	bound  []bool
+	// inited marks locals whose default value exists; array locals are
+	// materialized lazily so a fetched array never pays for a placeholder.
+	inited []bool
 	stop   bool
 	timers *deadline.TimerSet
 	out    io.Writer
 }
 
-// NewCtx assembles a context for one instance. The runtime is the only
-// expected caller, but the constructor is exported so tests and alternative
-// runtimes can drive kernel bodies directly.
-func NewCtx(k *KernelDecl, age int, index map[string]int, timers *deadline.TimerSet, out io.Writer) *Ctx {
-	c := &Ctx{
+// NewReusableCtx allocates a context sized for kernel k. It is the runtime's
+// pooled-dispatch constructor: call Reset before each instance, and never
+// retain values out of a context that will be reset.
+func NewReusableCtx(k *KernelDecl, timers *deadline.TimerSet, out io.Writer) *Ctx {
+	return &Ctx{
 		kernel: k,
-		age:    age,
-		index:  index,
-		vals:   make(map[string]field.Value, len(k.Locals)),
-		bound:  make(map[string]bool, len(k.Locals)),
+		vals:   make([]field.Value, len(k.Locals)),
+		bound:  make([]bool, len(k.Locals)),
+		inited: make([]bool, len(k.Locals)),
 		timers: timers,
 		out:    out,
 	}
-	for _, l := range k.Locals {
-		if l.Rank > 0 {
-			c.vals[l.Name] = field.ArrayVal(field.NewArray(l.Kind, make([]int, l.Rank)...))
-		} else {
-			c.vals[l.Name] = field.Zero(l.Kind)
+}
+
+// Reset prepares the context for a new instance of the same kernel at the
+// given age and index coordinates (in IndexVars order; the slice is aliased,
+// not copied). Every local becomes unbound and its previous value is
+// released, so a pooled Ctx cannot leak values across instances.
+func (c *Ctx) Reset(age int, coords []int) {
+	c.age = age
+	c.coords = coords
+	c.stop = false
+	for i := range c.vals {
+		c.vals[i] = field.Value{}
+		c.bound[i] = false
+		c.inited[i] = false
+	}
+}
+
+// NewCtx assembles a context for one instance from an index-variable map.
+// The runtime's hot path uses NewReusableCtx/Reset instead; this constructor
+// remains for program transforms (Fuse) and for tests and alternative
+// runtimes that drive kernel bodies directly.
+func NewCtx(k *KernelDecl, age int, index map[string]int, timers *deadline.TimerSet, out io.Writer) *Ctx {
+	c := NewReusableCtx(k, timers, out)
+	c.age = age
+	if len(k.IndexVars) > 0 {
+		coords := make([]int, len(k.IndexVars))
+		for i, v := range k.IndexVars {
+			coords[i] = index[v]
 		}
+		c.coords = coords
 	}
 	return c
+}
+
+// localIndex returns the position of the named local in the kernel's Locals
+// declaration, or -1.
+func (c *Ctx) localIndex(name string) int {
+	for i := range c.kernel.Locals {
+		if c.kernel.Locals[i].Name == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // Kernel returns the kernel declaration this instance executes.
@@ -66,29 +111,50 @@ func (c *Ctx) Age() int { return c.age }
 // Index returns the value of the named index variable. It panics on unknown
 // variables, which indicates a program bug.
 func (c *Ctx) Index(name string) int {
-	v, ok := c.index[name]
-	if !ok {
-		panic(fmt.Sprintf("p2g: kernel %s has no index variable %q", c.kernel.Name, name))
+	for i, v := range c.kernel.IndexVars {
+		if v == name {
+			if i < len(c.coords) {
+				return c.coords[i]
+			}
+			return 0
+		}
 	}
-	return v
+	panic(fmt.Sprintf("p2g: kernel %s has no index variable %q", c.kernel.Name, name))
 }
 
 // Get returns the named local's current value. Unknown locals panic.
 func (c *Ctx) Get(name string) field.Value {
-	v, ok := c.vals[name]
-	if !ok {
+	i := c.localIndex(name)
+	if i < 0 {
 		panic(fmt.Sprintf("p2g: kernel %s has no local %q", c.kernel.Name, name))
 	}
-	return v
+	return c.get(i)
+}
+
+// get returns the local at position i, materializing its default (zero
+// scalar or empty array) on first access.
+func (c *Ctx) get(i int) field.Value {
+	if !c.inited[i] {
+		l := &c.kernel.Locals[i]
+		if l.Rank > 0 {
+			c.vals[i] = field.ArrayVal(field.NewArray(l.Kind, make([]int, l.Rank)...))
+		} else {
+			c.vals[i] = field.Zero(l.Kind)
+		}
+		c.inited[i] = true
+	}
+	return c.vals[i]
 }
 
 // Set assigns the named local and marks it bound.
 func (c *Ctx) Set(name string, v field.Value) {
-	if _, ok := c.vals[name]; !ok {
+	i := c.localIndex(name)
+	if i < 0 {
 		panic(fmt.Sprintf("p2g: kernel %s has no local %q", c.kernel.Name, name))
 	}
-	c.vals[name] = v
-	c.bound[name] = true
+	c.vals[i] = v
+	c.inited[i] = true
+	c.bound[i] = true
 }
 
 // BindFetched is used by the runtime to install a fetched value; it binds the
@@ -96,7 +162,10 @@ func (c *Ctx) Set(name string, v field.Value) {
 func (c *Ctx) BindFetched(name string, v field.Value) { c.Set(name, v) }
 
 // Bound reports whether the named local has been bound in this instance.
-func (c *Ctx) Bound(name string) bool { return c.bound[name] }
+func (c *Ctx) Bound(name string) bool {
+	i := c.localIndex(name)
+	return i >= 0 && c.bound[i]
+}
 
 // Int32 returns the named scalar local as int32.
 func (c *Ctx) Int32(name string) int32 { return c.Get(name).Int32() }
@@ -125,11 +194,15 @@ func (c *Ctx) SetObj(name string, v any) { c.Set(name, field.AnyVal(v)) }
 // Array returns the named array local for reading or in-place mutation and
 // marks it bound (mutating a local array implies producing it).
 func (c *Ctx) Array(name string) *field.Array {
-	v := c.Get(name)
+	i := c.localIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("p2g: kernel %s has no local %q", c.kernel.Name, name))
+	}
+	v := c.get(i)
 	if !v.IsArray() {
 		panic(fmt.Sprintf("p2g: local %q of kernel %s is not an array", name, c.kernel.Name))
 	}
-	c.bound[name] = true
+	c.bound[i] = true
 	return v.Array()
 }
 

@@ -12,14 +12,20 @@ import (
 // paper's prototype is "a push-based system using event subscriptions on
 // field operations": store statements emit events, and the analyzer — running
 // in its own dedicated goroutine — derives every new valid combination of age
-// and index variables that became runnable.
+// and index variables that became runnable. Workers buffer events locally and
+// flush them in batches (one channel send per batch); see workerState.
 type event struct {
 	isDone bool
 
 	// store event fields
-	fs      *fieldState
-	age     int
-	elem    []int // element coordinates, nil for a whole-field store
+	fs  *fieldState
+	age int
+	// Element coordinates are inlined (coordKey already limits coordinates
+	// to four 16-bit dimensions) so emitting a store event never allocates;
+	// elemBig is the escape hatch for deeper manually-built coordinates.
+	elemBuf [4]int32
+	elemN   uint8
+	elemBig []int
 	whole   bool
 	grew    bool
 	extents []int
@@ -35,6 +41,37 @@ type event struct {
 
 	// stop ends a NoAutoQuiesce node.
 	stop bool
+}
+
+// setElem records element coordinates inline when they fit the buffer.
+func (ev *event) setElem(idx []int) {
+	if len(idx) <= len(ev.elemBuf) {
+		fits := true
+		for i, c := range idx {
+			if c != int(int32(c)) {
+				fits = false
+				break
+			}
+			ev.elemBuf[i] = int32(c)
+		}
+		if fits {
+			ev.elemN = uint8(len(idx))
+			return
+		}
+	}
+	ev.elemBig = append([]int(nil), idx...)
+}
+
+// elem decodes the element coordinates into dst scratch (valid only for
+// non-whole store events).
+func (ev *event) elem(dst *[4]int) []int {
+	if ev.elemBig != nil {
+		return ev.elemBig
+	}
+	for i := 0; i < int(ev.elemN); i++ {
+		dst[i] = int(ev.elemBuf[i])
+	}
+	return dst[:ev.elemN]
 }
 
 type actionKind uint8
@@ -64,9 +101,25 @@ type analyzer struct {
 	outstanding int
 	dirty       map[*ageTracker]struct{}
 
-	// High-water marks for the report's queue columns.
+	// High-water marks for the report's queue columns (backlog counts event
+	// batches, the channel's unit).
 	maxQueue   int
 	maxBacklog int
+
+	// Scratch buffers for precompiled index evaluation, so satisfaction
+	// checks never allocate coordinate slices.
+	idxBuf    []int
+	elemBuf   [4]int
+	satCoords []int
+	satConstr []bool
+}
+
+// scratch returns an index-evaluation buffer of length k.
+func (an *analyzer) scratch(k int) []int {
+	if cap(an.idxBuf) < k {
+		an.idxBuf = make([]int, k)
+	}
+	return an.idxBuf[:k]
 }
 
 func newAnalyzer(n *Node) *analyzer {
@@ -82,11 +135,11 @@ func (an *analyzer) run() {
 		draining := true
 		for draining && !an.stopRequested {
 			select {
-			case ev, ok := <-an.n.events:
+			case evs, ok := <-an.n.events:
 				if !ok {
 					return
 				}
-				an.handle(ev)
+				an.handleBatch(evs)
 			default:
 				draining = false
 			}
@@ -101,13 +154,27 @@ func (an *analyzer) run() {
 		if an.outstanding == 0 && !an.n.opts.NoAutoQuiesce {
 			break
 		}
-		ev, ok := <-an.n.events
+		evs, ok := <-an.n.events
 		if !ok {
 			return
 		}
-		an.handle(ev)
+		an.handleBatch(evs)
 	}
 	an.shutdown()
+}
+
+// handleBatch processes one flushed batch of events and recycles the slice.
+func (an *analyzer) handleBatch(evs []event) {
+	if backlog := len(an.n.events); backlog > an.maxBacklog {
+		an.maxBacklog = backlog
+	}
+	for i := range evs {
+		if an.stopRequested {
+			break
+		}
+		an.handle(&evs[i])
+	}
+	putEventBuf(evs)
 }
 
 // shutdown closes the ready queue (workers exit once they drain it) and
@@ -115,9 +182,10 @@ func (an *analyzer) run() {
 // workers have stopped; this prevents workers from blocking on a full event
 // channel during teardown.
 func (an *analyzer) shutdown() {
-	an.n.queue.Close()
+	an.n.sched.Close()
 	an.n.closeEventsWhenWorkersExit()
-	for range an.n.events {
+	for evs := range an.n.events {
+		putEventBuf(evs)
 	}
 }
 
@@ -139,10 +207,7 @@ func (an *analyzer) bootstrap() {
 	an.flushDirty()
 }
 
-func (an *analyzer) handle(ev event) {
-	if backlog := len(an.n.events); backlog > an.maxBacklog {
-		an.maxBacklog = backlog
-	}
+func (an *analyzer) handle(ev *event) {
 	switch {
 	case ev.stop:
 		an.stopRequested = true
@@ -271,24 +336,31 @@ func (an *analyzer) sourceTracker(ks *kernelState, age int) {
 }
 
 // createInstance registers one instance and computes its initial fetch
-// satisfaction from current field state.
+// satisfaction from current field state. Instance structs are recycled
+// through instPool when tracing is off (the tracer retains coords).
 func (an *analyzer) createInstance(t *ageTracker, coords []int) {
-	is := &instState{coords: append([]int(nil), coords...)}
+	var is *instState
+	if an.n.tracer == nil {
+		is = instPool.Get().(*instState)
+		is.coords = append(is.coords[:0], coords...)
+		is.mask, is.st, is.readyNs = 0, instWaiting, 0
+	} else {
+		is = &instState{coords: append([]int(nil), coords...)}
+	}
 	t.inst[coordKey(coords)] = is
 	t.total++
 	ks := t.ks
-	for i := range ks.decl.Fetches {
-		fe := &ks.decl.Fetches[i]
-		g := fe.Age.Eval(t.age)
-		fs := an.n.fields[fe.Field]
+	for i := range ks.fetchPlans {
+		fp := &ks.fetchPlans[i]
+		g := fp.fe.Age.Eval(t.age)
 		bit := uint32(1) << uint(i)
-		if fe.Whole() || fe.Slab() {
-			if an.fieldAge(fs, g).complete {
+		if fp.whole || fp.slab != nil {
+			if an.fieldAge(fp.fs, g).complete {
 				an.setBit(t, is, bit)
 			}
 		} else {
-			idx := evalIndex(fe.Index, ks.decl.IndexVars, is.coords)
-			if _, ok := fs.f.At(g, idx...); ok {
+			idx := evalTerms(an.scratch(len(fp.terms)), fp.terms, is.coords)
+			if _, ok := fp.fs.f.At(g, idx...); ok {
 				an.setBit(t, is, bit)
 			}
 		}
@@ -325,7 +397,9 @@ func (an *analyzer) setBit(t *ageTracker, is *instState, bit uint32) {
 
 // flushPending moves ready instances into dispatch batches of the kernel's
 // granularity; partial batches are flushed only when partial is true (at
-// analyzer lulls, so stragglers are never stranded).
+// analyzer lulls, so stragglers are never stranded). Batches come from
+// batchPool, and the pending slice is compacted in place (copy-down with the
+// tail nilled) so neither consumed entries nor their backing array leak.
 func (an *analyzer) flushPending(t *ageTracker, partial bool) {
 	g := t.ks.gran
 	for len(t.pending) >= g || (partial && len(t.pending) > 0) {
@@ -333,17 +407,22 @@ func (an *analyzer) flushPending(t *ageTracker, partial bool) {
 		if n > len(t.pending) {
 			n = len(t.pending)
 		}
-		insts := make([]*instState, n)
-		copy(insts, t.pending[:n])
-		t.pending = t.pending[n:]
+		b := getBatch()
+		b.tracker = t
+		b.insts = append(b.insts[:0], t.pending[:n]...)
+		rem := copy(t.pending, t.pending[n:])
+		for i := rem; i < len(t.pending); i++ {
+			t.pending[i] = nil
+		}
+		t.pending = t.pending[:rem]
 		an.outstanding += n
 		an.n.outstandingMirror.Add(int64(n))
-		an.n.queue.Push(&batch{tracker: t, insts: insts})
+		an.n.sched.Push(b)
 	}
 	if len(t.pending) == 0 {
 		delete(an.dirty, t)
 	}
-	if depth := an.n.queue.Len(); depth > an.maxQueue {
+	if depth := an.n.sched.Len(); depth > an.maxQueue {
 		an.maxQueue = depth
 	}
 	an.updateGauges()
@@ -356,7 +435,7 @@ func (an *analyzer) updateGauges() {
 	if n.gQueue == nil {
 		return
 	}
-	n.gQueue.Set(int64(n.queue.Len()))
+	n.gQueue.Set(int64(n.sched.Len()))
 	n.gBacklog.Set(int64(len(n.events)))
 	n.gOutstand.Set(int64(an.outstanding))
 }
@@ -377,7 +456,7 @@ func (an *analyzer) maybeTrackerDone(t *ageTracker) {
 
 // handleDone processes a finished instance: continuation for source kernels,
 // adaptive granularity, and kernel-age completion.
-func (an *analyzer) handleDone(ev event) {
+func (an *analyzer) handleDone(ev *event) {
 	an.outstanding--
 	an.n.outstandingMirror.Add(-1)
 	ev.inst.st = instDone
@@ -425,7 +504,7 @@ func (an *analyzer) adapt(ks *kernelState) {
 
 // handleStore processes a store event: domain growth for kernels whose index
 // range the field defines, then fetch satisfaction for consumers.
-func (an *analyzer) handleStore(ev event) {
+func (an *analyzer) handleStore(ev *event) {
 	an.fieldAge(ev.fs, ev.age)
 	if ev.grew {
 		for _, re := range ev.fs.rangeOf {
@@ -433,6 +512,10 @@ func (an *analyzer) handleStore(ev event) {
 				an.growTracker(t, re.varIdx, ev.extents[re.dim])
 			})
 		}
+	}
+	var elem []int
+	if !ev.whole {
+		elem = ev.elem(&an.elemBuf)
 	}
 	for _, ce := range ev.fs.consumers {
 		if ce.fetch.Whole() || ce.fetch.Slab() {
@@ -442,7 +525,7 @@ func (an *analyzer) handleStore(ev event) {
 			if ev.whole {
 				an.scanSatisfy(t, ce)
 			} else {
-				an.satisfyElem(t, ce, ev.elem)
+				an.satisfyElem(t, ce, elem)
 			}
 		})
 	}
@@ -495,14 +578,19 @@ func (an *analyzer) satisfyElem(t *ageTracker, ce consEdge, elem []int) {
 	if t.completed {
 		return
 	}
-	vars := t.ks.decl.IndexVars
-	coords := make([]int, len(vars))
-	constrained := make([]bool, len(vars))
-	for d, spec := range ce.fetch.Index {
-		switch spec.Kind {
-		case core.IndexVarKind:
-			vi := varIndex(vars, spec.Var)
-			c := elem[d] - spec.Off
+	nv := len(t.ks.decl.IndexVars)
+	if cap(an.satCoords) < nv {
+		an.satCoords = make([]int, nv)
+		an.satConstr = make([]bool, nv)
+	}
+	coords, constrained := an.satCoords[:nv], an.satConstr[:nv]
+	for i := 0; i < nv; i++ {
+		coords[i], constrained[i] = 0, false
+	}
+	for d, term := range ce.terms {
+		if term.v >= 0 {
+			vi := term.v
+			c := elem[d] - term.off
 			if c < 0 || c >= t.extents[vi] {
 				return // instance does not exist (yet); creation scans cover it
 			}
@@ -511,10 +599,8 @@ func (an *analyzer) satisfyElem(t *ageTracker, ce consEdge, elem []int) {
 			}
 			coords[vi] = c
 			constrained[vi] = true
-		default:
-			if spec.Lit != elem[d] {
-				return
-			}
+		} else if term.off != elem[d] {
+			return
 		}
 	}
 	an.enumerate(t, coords, constrained, 0, ce.fetchBit)
@@ -551,7 +637,7 @@ func (an *analyzer) scanSatisfy(t *ageTracker, ce consEdge) {
 		if is.st != instWaiting || is.mask&ce.fetchBit != 0 {
 			continue
 		}
-		idx := evalIndex(ce.fetch.Index, t.ks.decl.IndexVars, is.coords)
+		idx := evalTerms(an.scratch(len(ce.terms)), ce.terms, is.coords)
 		if _, ok := fs.f.At(g, idx...); ok {
 			an.setBit(t, is, ce.fetchBit)
 		}
@@ -596,6 +682,14 @@ func (an *analyzer) onTrackerComplete(t *ageTracker) {
 		fa := an.fieldAge(fs, g)
 		fa.consumersDone++
 		an.gcCheck(fs, g, fa)
+	}
+	if an.n.tracer == nil {
+		// Recycle the instance structs (safe: every instance is done, so no
+		// worker or batch will read them again). With tracing on they must
+		// survive — recorded spans alias their coords.
+		for _, is := range t.inst {
+			instPool.Put(is)
+		}
 	}
 	t.inst = nil // instances are no longer needed; free the memory
 }
@@ -677,16 +771,4 @@ func varIndex(vars []string, name string) int {
 		}
 	}
 	panic(fmt.Sprintf("p2g: unknown index variable %q", name))
-}
-
-func evalIndex(spec []core.IndexSpec, vars []string, coords []int) []int {
-	idx := make([]int, len(spec))
-	for d, s := range spec {
-		if s.Kind == core.IndexVarKind {
-			idx[d] = coords[varIndex(vars, s.Var)] + s.Off
-		} else {
-			idx[d] = s.Lit
-		}
-	}
-	return idx
 }

@@ -1,0 +1,74 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/field"
+)
+
+// benchNode builds a one-kernel node whose input element is pre-stored, so
+// exec can be driven directly: this isolates the dispatch fast path (frame
+// checkout, plan-driven fetch, body, event emission) from the analyzer.
+func benchNode(b *testing.B, indexed bool) (*Node, *ageTracker, *instState) {
+	b.Helper()
+	pb := core.NewBuilder("bench")
+	pb.Field("in", field.Int32, 1, true)
+	k := pb.Kernel("consume").Local("v", field.Int32, 0)
+	if indexed {
+		k.Age("a").Index("x").Fetch("v", "in", core.AgeVar(0), core.Idx("x"))
+	} else {
+		k.Fetch("v", "in", core.AgeAt(0), core.Lit(0))
+	}
+	k.Body(func(c *core.Ctx) error {
+		_ = c.Int32("v")
+		return nil
+	})
+	prog, err := pb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := NewNode(prog, Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := n.fields["in"].f.Store(0, field.Int32Val(3), 0); err != nil {
+		b.Fatal(err)
+	}
+	ks := n.kernels["consume"]
+	t := &ageTracker{ks: ks, age: 0}
+	is := &instState{}
+	if indexed {
+		is.coords = []int{0}
+	}
+	return n, t, is
+}
+
+// BenchmarkDispatchInstance measures one dispatch through the precompiled
+// plan with no index variables; the acceptance target is 0 allocs/op.
+func BenchmarkDispatchInstance(b *testing.B) {
+	n, t, is := benchNode(b, false)
+	w := &workerState{n: n, id: 0, buf: make([]event, 0, 8)}
+	n.exec(t, is, w) // warm the frame pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.buf = w.buf[:0]
+		n.exec(t, is, w)
+	}
+}
+
+// BenchmarkDispatchInstanceIndexed is the same measurement through an
+// age-variable, index-variable element fetch (coordinates evaluate into the
+// frame's scratch).
+func BenchmarkDispatchInstanceIndexed(b *testing.B) {
+	n, t, is := benchNode(b, true)
+	w := &workerState{n: n, id: 0, buf: make([]event, 0, 8)}
+	n.exec(t, is, w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.buf = w.buf[:0]
+		n.exec(t, is, w)
+	}
+}

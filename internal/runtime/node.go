@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,8 +46,13 @@ type Options struct {
 	Output io.Writer
 	// Clock drives deadline timers; nil selects the real clock.
 	Clock deadline.Clock
-	// EventBuffer sizes the analyzer's event channel; zero selects 4096.
+	// EventBuffer sizes the analyzer's event channel (in event batches;
+	// workers flush store/done events in batches); zero selects 4096.
 	EventBuffer int
+	// Scheduler selects the ready-queue implementation: SchedStealing (the
+	// default work-stealing per-worker deques) or SchedGlobal (the reference
+	// single mutex+condvar queue, kept for A/B benchmarking).
+	Scheduler SchedulerKind
 
 	// Metrics, when set, receives the node's full instrumentation: the
 	// per-kernel counters behind the Report plus dispatch/fetch/store
@@ -118,8 +124,8 @@ type Node struct {
 	order   []*kernelState
 
 	timers *deadline.TimerSet
-	queue  *readyQueue
-	events chan event
+	sched  scheduler
+	events chan []event
 	out    *lockedWriter
 
 	wg        sync.WaitGroup
@@ -140,16 +146,20 @@ type Node struct {
 	// Observability: reg is always non-nil (Options.Metrics or a private
 	// registry) and holds the per-kernel counters the Report projects; the
 	// detailed handles below are nil unless Options.Metrics was set.
-	reg         *obs.Registry
-	tracer      *obs.Tracer
-	mDispatches *obs.Counter
-	hFetch      *obs.Histogram
-	hKernel     *obs.Histogram
-	hStore      *obs.Histogram
-	gQueue      *obs.Gauge
-	gBacklog    *obs.Gauge
-	gFieldMem   *obs.Gauge
-	gOutstand   *obs.Gauge
+	// mSteals and mEventBatches always live in the registry (the Report
+	// surfaces them), baseline-subtracted like the per-kernel counters.
+	reg           *obs.Registry
+	tracer        *obs.Tracer
+	mDispatches   *obs.Counter
+	mSteals       counterWithBaseline
+	mEventBatches counterWithBaseline
+	hFetch        *obs.Histogram
+	hKernel       *obs.Histogram
+	hStore        *obs.Histogram
+	gQueue        *obs.Gauge
+	gBacklog      *obs.Gauge
+	gFieldMem     *obs.Gauge
+	gOutstand     *obs.Gauge
 }
 
 // lockedWriter serializes kernel Printf output from concurrent workers.
@@ -181,12 +191,12 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 		fields:  make(map[string]*fieldState, len(p.Fields)),
 		kernels: make(map[string]*kernelState, len(p.Kernels)),
 		timers:  deadline.NewTimerSet(opts.Clock, p.Timers...),
-		queue:   newReadyQueue(),
-		events:  make(chan event, opts.EventBuffer),
+		events:  make(chan []event, opts.EventBuffer),
 		out:     &lockedWriter{w: opts.Output},
 		reg:     opts.Metrics,
 		tracer:  opts.Tracer,
 	}
+	var gWorkerDepth []*obs.Gauge
 	if n.reg == nil {
 		// Private registry: the per-kernel counters always live in a
 		// registry so the Report is a projection of it, but the detailed
@@ -201,6 +211,18 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 		n.gBacklog = n.reg.Gauge(obs.MEventBacklog)
 		n.gFieldMem = n.reg.Gauge(obs.MFieldMemElems)
 		n.gOutstand = n.reg.Gauge(obs.MOutstandingInsts)
+		gWorkerDepth = make([]*obs.Gauge, opts.Workers)
+		for i := range gWorkerDepth {
+			gWorkerDepth[i] = n.reg.Gauge(obs.Label(obs.MWorkerQueueDepth, "worker", strconv.Itoa(i)))
+		}
+	}
+	n.mSteals = newBaselined(n.reg.Counter(obs.MStealsTotal))
+	n.mEventBatches = newBaselined(n.reg.Counter(obs.MEventBatchesTotal))
+	switch opts.Scheduler {
+	case SchedGlobal:
+		n.sched = newReadyQueue()
+	default:
+		n.sched = newStealScheduler(opts.Workers, n.mSteals.c, gWorkerDepth)
 	}
 	n.tracer.CountDropped(n.reg.Counter(obs.MTraceDropped))
 	for _, fd := range p.Fields {
@@ -221,15 +243,11 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 	for _, kd := range p.Kernels {
 		ks := &kernelState{
 			decl: kd, ages: make(map[int]*ageTracker), gran: 1, remote: opts.RemoteKernels[kd.Name],
-			instances:  n.reg.Counter(obs.Label(obs.MKernelInstances, "kernel", kd.Name)),
-			dispatchNs: n.reg.Counter(obs.Label(obs.MKernelDispatchNs, "kernel", kd.Name)),
-			kernelNs:   n.reg.Counter(obs.Label(obs.MKernelTimeNs, "kernel", kd.Name)),
-			storeOps:   n.reg.Counter(obs.Label(obs.MKernelStoreOps, "kernel", kd.Name)),
+			instances:  newBaselined(n.reg.Counter(obs.Label(obs.MKernelInstances, "kernel", kd.Name))),
+			dispatchNs: newBaselined(n.reg.Counter(obs.Label(obs.MKernelDispatchNs, "kernel", kd.Name))),
+			kernelNs:   newBaselined(n.reg.Counter(obs.Label(obs.MKernelTimeNs, "kernel", kd.Name))),
+			storeOps:   newBaselined(n.reg.Counter(obs.Label(obs.MKernelStoreOps, "kernel", kd.Name))),
 		}
-		ks.instances0 = ks.instances.Load()
-		ks.dispatchNs0 = ks.dispatchNs.Load()
-		ks.kernelNs0 = ks.kernelNs.Load()
-		ks.storeOps0 = ks.storeOps.Load()
 		if g, ok := opts.Granularity[kd.Name]; ok && g > 0 {
 			ks.gran = g
 		}
@@ -248,7 +266,11 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 		for i := range kd.Fetches {
 			fe := &kd.Fetches[i]
 			fs := n.fields[fe.Field]
-			fs.consumers = append(fs.consumers, consEdge{ks: ks, fetch: fe, fetchBit: uint32(1) << uint(i)})
+			ce := consEdge{ks: ks, fetch: fe, fetchBit: uint32(1) << uint(i)}
+			if !fe.Whole() && !fe.Slab() {
+				ce.terms = compileIndex(fe.Index, kd.IndexVars)
+			}
+			fs.consumers = append(fs.consumers, ce)
 			if fe.Age.HasVar {
 				fs.agedConsumers++
 			} else {
@@ -270,7 +292,70 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 			fs.producers = append(fs.producers, prodEdge{ks: ks, store: ss})
 		}
 	}
+	// Dispatch plans: resolve every fetch/store to its field state and
+	// precompile the index expressions, then size a pool of reusable
+	// execution frames (context + coordinate/selector scratch) per kernel.
+	// This is what makes the dispatch hot path allocation-free.
+	for _, ks := range n.order {
+		kd := ks.decl
+		maxIdx, maxSel := 0, 0
+		ks.fetchPlans = make([]fetchPlan, len(kd.Fetches))
+		for i := range kd.Fetches {
+			fe := &kd.Fetches[i]
+			fp := fetchPlan{fe: fe, fs: n.fields[fe.Field]}
+			switch {
+			case fe.Whole():
+				fp.whole = true
+			case fe.Slab():
+				fp.slab = make([]slabTerm, len(fe.Index))
+				for d, spec := range fe.Index {
+					if spec.Kind == core.IndexAllKind {
+						continue // zero value spans the whole dimension
+					}
+					fp.slab[d] = slabTerm{fixed: true, term: compileSpec(spec, kd.IndexVars)}
+				}
+				if len(fp.slab) > maxSel {
+					maxSel = len(fp.slab)
+				}
+			default:
+				fp.terms = compileIndex(fe.Index, kd.IndexVars)
+				if len(fp.terms) > maxIdx {
+					maxIdx = len(fp.terms)
+				}
+			}
+			ks.fetchPlans[i] = fp
+		}
+		ks.storePlans = make([]storePlan, len(kd.Stores))
+		for i := range kd.Stores {
+			ss := &kd.Stores[i]
+			sp := storePlan{ss: ss, fs: n.fields[ss.Field]}
+			if !ss.Whole() {
+				sp.terms = compileIndex(ss.Index, kd.IndexVars)
+				if len(sp.terms) > maxIdx {
+					maxIdx = len(sp.terms)
+				}
+			}
+			ks.storePlans[i] = sp
+		}
+		kd, nIdx, nSel := kd, maxIdx, maxSel
+		ks.frames = &sync.Pool{New: func() any {
+			return &execFrame{
+				ctx: core.NewReusableCtx(kd, n.timers, n.out),
+				idx: make([]int, nIdx),
+				sel: make([]field.SlabDim, nSel),
+			}
+		}}
+	}
 	return n, nil
+}
+
+// execFrame is the reusable per-dispatch state a worker checks out of a
+// kernel's frame pool: the instance context plus coordinate and slab-selector
+// scratch sized for the kernel's largest index expressions.
+type execFrame struct {
+	ctx *core.Ctx
+	idx []int
+	sel []field.SlabDim
 }
 
 // Run executes the program to quiescence and returns the instrumentation
@@ -279,7 +364,7 @@ func (n *Node) Run() (*Report, error) {
 	start := time.Now()
 	for i := 0; i < n.opts.Workers; i++ {
 		n.wg.Add(1)
-		go n.worker(i + 1)
+		go n.worker(i)
 	}
 	an := newAnalyzer(n)
 	an.run()
@@ -312,14 +397,18 @@ func (n *Node) closeEventsWhenWorkersExit() {
 }
 
 // inject delivers an externally produced event unless the node has shut
-// down. It reports whether the event was accepted.
+// down. It reports whether the event was accepted. External events arrive one
+// at a time, so each rides in its own (pooled) single-event batch.
 func (n *Node) inject(ev event) bool {
 	n.injectMu.RLock()
 	defer n.injectMu.RUnlock()
 	if n.eventsClosed {
 		return false
 	}
-	n.events <- ev
+	evs := getEventBuf()
+	evs = append(evs, ev)
+	n.mEventBatches.Add(1)
+	n.events <- evs
 	return true
 }
 
@@ -345,7 +434,11 @@ func (n *Node) InjectStore(sn StoreNotice) error {
 	if err != nil {
 		return err
 	}
-	n.inject(event{fs: fs, age: sn.Age, elem: sn.Elem, whole: sn.Whole, grew: res.Grew, extents: res.Extents})
+	ev := event{fs: fs, age: sn.Age, whole: sn.Whole, grew: res.Grew, extents: res.Extents}
+	if !sn.Whole {
+		ev.setElem(sn.Elem)
+	}
+	n.inject(ev)
 	return nil
 }
 
@@ -421,59 +514,100 @@ func (n *Node) FieldMemoryElems() int {
 	return total
 }
 
-// worker is one worker goroutine: it pops batches oldest-age-first and
-// executes each instance, emitting store and done events to the analyzer.
-// The id becomes the tracer's thread lane (the analyzer is lane 0).
-func (n *Node) worker(id int) {
-	defer n.wg.Done()
-	for {
-		b, ok := n.queue.Pop()
-		if !ok {
-			return
-		}
-		for _, is := range b.insts {
-			n.exec(b.tracker, is, id)
-		}
+// eventFlushThreshold bounds a worker's local event buffer: the buffer is
+// flushed to the analyzer when it reaches this many events, and always before
+// the worker blocks on an empty ready queue (otherwise the analyzer could
+// wait forever for a done event sitting in a sleeping worker's buffer).
+const eventFlushThreshold = 64
+
+// workerState is one worker goroutine's dispatch state: its scheduler slot
+// and the local buffer of analyzer events awaiting the next batched flush.
+type workerState struct {
+	n   *Node
+	id  int // 0-based scheduler slot; tracer lane is id+1 (analyzer is 0)
+	buf []event
+}
+
+// emit buffers one analyzer event, flushing at the batching threshold.
+func (w *workerState) emit(ev event) {
+	w.buf = append(w.buf, ev)
+	if len(w.buf) >= eventFlushThreshold {
+		w.flush()
 	}
 }
 
-// exec runs one kernel instance: build the context, perform fetches, run the
-// body, apply stores, emit events. Dispatch time (everything but the body)
-// and kernel time (the body) feed the Table II/III instrumentation.
-func (n *Node) exec(t *ageTracker, is *instState, worker int) {
+// flush hands the buffered events to the analyzer as one batch (a single
+// channel send) and starts a fresh pooled buffer.
+func (w *workerState) flush() {
+	if len(w.buf) == 0 {
+		return
+	}
+	w.n.mEventBatches.Add(1)
+	w.n.events <- w.buf
+	w.buf = getEventBuf()
+}
+
+// worker is one worker goroutine: it pops batches oldest-age-first and
+// executes each instance, buffering store and done events and flushing them
+// to the analyzer in batches. The flush-before-block order matters for
+// liveness: a worker only blocks in Pop after its buffer has been handed to
+// the analyzer, so the done events the analyzer needs to produce more work
+// are never stranded.
+func (n *Node) worker(id int) {
+	defer n.wg.Done()
+	w := &workerState{n: n, id: id, buf: getEventBuf()}
+	for {
+		b, ok := n.sched.TryPop(id)
+		if !ok {
+			w.flush()
+			if b, ok = n.sched.Pop(id); !ok {
+				return
+			}
+		}
+		for _, is := range b.insts {
+			n.exec(b.tracker, is, w)
+		}
+		releaseBatch(b)
+	}
+}
+
+// exec runs one kernel instance through its precompiled dispatch plan: check
+// out a pooled execution frame, perform fetches, run the body, apply stores,
+// buffer events. Dispatch time (everything but the body) and kernel time (the
+// body) feed the Table II/III instrumentation. The path allocates nothing for
+// element fetches/stores: coordinates evaluate into the frame's scratch.
+func (n *Node) exec(t *ageTracker, is *instState, w *workerState) {
 	ks := t.ks
 	kd := ks.decl
 	t0 := time.Now()
 
-	var idxMap map[string]int
-	if len(kd.IndexVars) > 0 {
-		idxMap = make(map[string]int, len(kd.IndexVars))
-		for i, v := range kd.IndexVars {
-			idxMap[v] = is.coords[i]
-		}
-	}
-	ctx := core.NewCtx(kd, t.age, idxMap, n.timers, n.out)
-	for i := range kd.Fetches {
-		fe := &kd.Fetches[i]
+	fr := ks.frames.Get().(*execFrame)
+	ctx := fr.ctx
+	ctx.Reset(t.age, is.coords)
+	for i := range ks.fetchPlans {
+		fp := &ks.fetchPlans[i]
+		fe := fp.fe
 		g := fe.Age.Eval(t.age)
-		fs := n.fields[fe.Field]
-		if fe.Whole() {
-			ctx.BindFetched(fe.Local, field.ArrayVal(fs.f.Snapshot(g)))
-		} else if fe.Slab() {
-			sel := make([]field.SlabDim, len(fe.Index))
-			for d, spec := range fe.Index {
-				if spec.Kind == core.IndexAllKind {
-					continue // zero value selects the whole dimension
+		switch {
+		case fp.whole:
+			ctx.BindFetched(fe.Local, field.ArrayVal(fp.fs.f.Snapshot(g)))
+		case fp.slab != nil:
+			sel := fr.sel[:len(fp.slab)]
+			for d, st := range fp.slab {
+				if st.fixed {
+					sel[d] = field.SlabDim{Fixed: true, Index: st.term.eval(is.coords)}
+				} else {
+					sel[d] = field.SlabDim{}
 				}
-				sel[d] = field.SlabDim{Fixed: true, Index: spec.Eval(idxMap)}
 			}
-			ctx.BindFetched(fe.Local, field.ArrayVal(fs.f.Slab(g, sel)))
-		} else {
-			idx := evalIndex(fe.Index, kd.IndexVars, is.coords)
-			v, ok := fs.f.At(g, idx...)
+			ctx.BindFetched(fe.Local, field.ArrayVal(fp.fs.f.Slab(g, sel)))
+		default:
+			idx := evalTerms(fr.idx[:len(fp.terms)], fp.terms, is.coords)
+			v, ok := fp.fs.f.At(g, idx...)
 			if !ok {
 				n.fail(fmt.Errorf("p2g: internal error: %s dispatched before %s(%d)%v was written", kd.Name, fe.Field, g, idx))
-				n.events <- event{isDone: true, t: t, inst: is}
+				w.emit(event{isDone: true, t: t, inst: is})
+				n.releaseFrame(ks, fr)
 				return
 			}
 			ctx.BindFetched(fe.Local, v)
@@ -488,21 +622,23 @@ func (n *Node) exec(t *ageTracker, is *instState, worker int) {
 	if err != nil {
 		n.fail(fmt.Errorf("p2g: kernel %s(age=%d): %w", kd.Name, t.age, err))
 	} else {
-		for i := range kd.Stores {
-			ss := &kd.Stores[i]
+		for i := range ks.storePlans {
+			sp := &ks.storePlans[i]
+			ss := sp.ss
 			if !ctx.Bound(ss.Local) {
 				continue
 			}
 			g := ss.Age.Eval(t.age)
-			fs := n.fields[ss.Field]
+			ev := event{fs: sp.fs, age: g}
 			var res field.StoreResult
 			var serr error
-			var elem []int
-			if ss.Whole() {
-				res, serr = fs.f.StoreAll(g, ctx.Get(ss.Local).Array())
+			if sp.terms == nil {
+				res, serr = sp.fs.f.StoreAll(g, ctx.Get(ss.Local).Array())
+				ev.whole = true
 			} else {
-				elem = evalIndex(ss.Index, kd.IndexVars, is.coords)
-				res, serr = fs.f.Store(g, ctx.Get(ss.Local), elem...)
+				idx := evalTerms(fr.idx[:len(sp.terms)], sp.terms, is.coords)
+				res, serr = sp.fs.f.Store(g, ctx.Get(ss.Local), idx...)
+				ev.setElem(idx)
 			}
 			if serr != nil {
 				n.fail(fmt.Errorf("p2g: kernel %s(age=%d): %w", kd.Name, t.age, serr))
@@ -511,12 +647,17 @@ func (n *Node) exec(t *ageTracker, is *instState, worker int) {
 			stores++
 			if n.opts.OnStore != nil {
 				val := ctx.Get(ss.Local)
-				if ss.Whole() {
+				var elem []int
+				if sp.terms == nil {
 					val = field.ArrayVal(val.Array().Clone())
+				} else {
+					elem = append([]int(nil), fr.idx[:len(sp.terms)]...)
 				}
-				n.opts.OnStore(StoreNotice{Field: ss.Field, Age: g, Elem: elem, Whole: ss.Whole(), Value: val})
+				n.opts.OnStore(StoreNotice{Field: ss.Field, Age: g, Elem: elem, Whole: sp.terms == nil, Value: val})
 			}
-			n.events <- event{fs: fs, age: g, elem: elem, whole: ss.Whole(), grew: res.Grew, extents: res.Extents}
+			ev.grew = res.Grew
+			ev.extents = res.Extents
+			w.emit(ev)
 		}
 	}
 	t3 := time.Now()
@@ -539,7 +680,7 @@ func (n *Node) exec(t *ageTracker, is *instState, worker int) {
 		}
 		tr.Record(obs.Span{
 			Name: kd.Name, Cat: "kernel", Ph: obs.PhaseComplete,
-			TS: ts, Dur: t3.Sub(t0).Nanoseconds(), TID: worker,
+			TS: ts, Dur: t3.Sub(t0).Nanoseconds(), TID: w.id + 1,
 			Age: t.age, Index: is.coords,
 			WaitNs:   wait,
 			FetchNs:  t1.Sub(t0).Nanoseconds(),
@@ -548,7 +689,15 @@ func (n *Node) exec(t *ageTracker, is *instState, worker int) {
 		})
 	}
 
-	n.events <- event{isDone: true, t: t, inst: is, stores: stores, stopped: ctx.Stopped()}
+	w.emit(event{isDone: true, t: t, inst: is, stores: stores, stopped: ctx.Stopped()})
+	n.releaseFrame(ks, fr)
+}
+
+// releaseFrame returns an execution frame to its kernel's pool, clearing the
+// context first so pooled frames do not pin fetched values between dispatches.
+func (n *Node) releaseFrame(ks *kernelState, fr *execFrame) {
+	fr.ctx.Reset(0, nil)
+	ks.frames.Put(fr)
 }
 
 // runBody executes the kernel body, converting panics into errors so a buggy

@@ -1,0 +1,55 @@
+package runtime
+
+import "sync"
+
+// Pools backing the allocation-free dispatch path. All three are
+// process-global (not per-node): the pooled objects carry no node identity,
+// and sharing them lets concurrent nodes (tests, the distributed layer)
+// amortize each other's warm-up.
+
+// eventsPool recycles the event slices workers flush to the analyzer. The
+// pool stores *[]event so checkouts do not box a slice header.
+var eventsPool = sync.Pool{
+	New: func() any {
+		s := make([]event, 0, eventFlushThreshold)
+		return &s
+	},
+}
+
+// getEventBuf returns an empty event buffer with batching capacity.
+func getEventBuf() []event {
+	return *eventsPool.Get().(*[]event)
+}
+
+// putEventBuf clears a processed batch (events hold tracker and field-state
+// pointers) and returns it to the pool.
+func putEventBuf(evs []event) {
+	for i := range evs {
+		evs[i] = event{}
+	}
+	evs = evs[:0]
+	eventsPool.Put(&evs)
+}
+
+// batchPool recycles dispatch batches and their instance slices between the
+// analyzer's flushPending and the workers.
+var batchPool = sync.Pool{New: func() any { return new(batch) }}
+
+func getBatch() *batch { return batchPool.Get().(*batch) }
+
+// releaseBatch clears a consumed batch so pooled batches do not pin trackers
+// or instances, and returns it for reuse.
+func releaseBatch(b *batch) {
+	for i := range b.insts {
+		b.insts[i] = nil
+	}
+	b.insts = b.insts[:0]
+	b.tracker = nil
+	batchPool.Put(b)
+}
+
+// instPool recycles instance states. Recycling is only safe when tracing is
+// disabled: the tracer's span ring retains is.coords past the instance's
+// lifetime, and a recycled instance would rewrite those coordinates in place.
+// The analyzer gates its use of the pool on tracer == nil.
+var instPool = sync.Pool{New: func() any { return new(instState) }}

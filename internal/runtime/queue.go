@@ -10,6 +10,11 @@
 // oldest-age-first so that aging cycles (mul2/plus5) cannot starve younger
 // work, and each instance is dispatched exactly once (write-once semantics
 // make re-execution meaningless).
+//
+// Two ready-queue implementations exist: the work-stealing per-worker deques
+// of sched.go (the default) and the single global priority queue below (the
+// reference implementation, selectable with Options.Scheduler for A/B
+// comparison).
 package runtime
 
 import (
@@ -68,23 +73,37 @@ func (q *readyQueue) Push(b *batch) {
 	q.cond.Signal()
 }
 
+// popLocked removes the oldest-age batch, or nil when the queue is empty.
+// Caller holds mu.
+func (q *readyQueue) popLocked() *batch {
+	for len(q.ages) > 0 {
+		age := q.ages[0]
+		bucket := q.buckets[age]
+		if len(bucket) == 0 {
+			heap.Pop(&q.ages)
+			delete(q.buckets, age)
+			continue
+		}
+		b := bucket[0]
+		// Nil the popped slot: the age bucket keeps its backing array alive
+		// for FIFO reslicing, and without this every popped batch would be
+		// retained for the life of the bucket.
+		bucket[0] = nil
+		q.buckets[age] = bucket[1:]
+		q.queued -= len(b.insts)
+		return b
+	}
+	return nil
+}
+
 // Pop removes the oldest-age batch, blocking until one is available. The
-// second result is false once the queue is closed and drained.
-func (q *readyQueue) Pop() (*batch, bool) {
+// second result is false once the queue is closed and drained. The worker
+// argument is unused (this is the global reference queue).
+func (q *readyQueue) Pop(int) (*batch, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
-		for len(q.ages) > 0 {
-			age := q.ages[0]
-			bucket := q.buckets[age]
-			if len(bucket) == 0 {
-				heap.Pop(&q.ages)
-				delete(q.buckets, age)
-				continue
-			}
-			b := bucket[0]
-			q.buckets[age] = bucket[1:]
-			q.queued -= len(b.insts)
+		if b := q.popLocked(); b != nil {
 			return b, true
 		}
 		if q.closed {
@@ -92,6 +111,15 @@ func (q *readyQueue) Pop() (*batch, bool) {
 		}
 		q.cond.Wait()
 	}
+}
+
+// TryPop removes the oldest-age batch without blocking; false when the queue
+// is currently empty.
+func (q *readyQueue) TryPop(int) (*batch, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.popLocked()
+	return b, b != nil
 }
 
 // Close wakes all blocked consumers; queued batches may still be popped.

@@ -53,9 +53,16 @@ type Report struct {
 	FieldMemElems int
 
 	// Scheduler queue high-water marks: the deepest the ready queue got
-	// (instances) and the largest analyzer event backlog observed.
+	// (instances) and the largest analyzer event backlog observed (in event
+	// batches, the channel's unit).
 	MaxQueueDepth   int
 	MaxEventBacklog int
+
+	// Scheduler fast-path counters: batches taken from a peer's deque by the
+	// work-stealing scheduler (always zero under SchedGlobal) and event
+	// batches delivered to the analyzer.
+	Steals       int64
+	EventBatches int64
 
 	// Transport counters, filled in by the distributed layer (zero for
 	// purely local runs): protocol messages and encoded bytes exchanged
@@ -72,6 +79,8 @@ func (n *Node) buildReport(wall time.Duration, an *analyzer) *Report {
 		FieldMemElems:   n.FieldMemoryElems(),
 		MaxQueueDepth:   an.maxQueue,
 		MaxEventBacklog: an.maxBacklog,
+		Steals:          n.mSteals.Own(),
+		EventBatches:    n.mEventBatches.Own(),
 	}
 	n.gFieldMem.Set(int64(r.FieldMemElems))
 	for _, ks := range n.order {
@@ -111,6 +120,8 @@ func MergeReports(reports ...*Report) *Report {
 		if r.MaxEventBacklog > merged.MaxEventBacklog {
 			merged.MaxEventBacklog = r.MaxEventBacklog
 		}
+		merged.Steals += r.Steals
+		merged.EventBatches += r.EventBatches
 		merged.SentMsgs += r.SentMsgs
 		merged.RecvMsgs += r.RecvMsgs
 		merged.SentBytes += r.SentBytes
@@ -169,8 +180,8 @@ func (r *Report) Table() string {
 			k.Name, k.Instances, fmtMicros(k.DispatchPer()), fmtMicros(k.KernelPer()))
 	}
 	if r.MaxQueueDepth > 0 || r.MaxEventBacklog > 0 {
-		fmt.Fprintf(&b, "queue: max depth %d insts, max event backlog %d\n",
-			r.MaxQueueDepth, r.MaxEventBacklog)
+		fmt.Fprintf(&b, "queue: max depth %d insts, max event backlog %d batches, %d steals, %d event batches\n",
+			r.MaxQueueDepth, r.MaxEventBacklog, r.Steals, r.EventBatches)
 	}
 	if r.SentMsgs > 0 || r.RecvMsgs > 0 {
 		fmt.Fprintf(&b, "transport: sent %d msgs / %d B, received %d msgs / %d B\n",

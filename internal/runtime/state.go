@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/field"
@@ -48,6 +49,94 @@ type varBind struct {
 	age core.AgeExpr
 }
 
+// counterWithBaseline wraps a registry counter together with its value at
+// node construction time. A shared registry may carry counts from earlier
+// nodes; Own projects only this node's contribution, which is what reports
+// and the adaptive-granularity decision need.
+type counterWithBaseline struct {
+	c    *obs.Counter
+	base int64
+}
+
+func newBaselined(c *obs.Counter) counterWithBaseline {
+	return counterWithBaseline{c: c, base: c.Load()}
+}
+
+// Add increments the underlying counter.
+func (b counterWithBaseline) Add(d int64) { b.c.Add(d) }
+
+// Own returns the counter's growth since node construction.
+func (b counterWithBaseline) Own() int64 { return b.c.Load() - b.base }
+
+// idxTerm is one dimension of a precompiled fetch/store index expression:
+// coords[v]+off, or the literal off when v < 0. Compiling the terms at
+// NewNode time removes the per-instance map[string]int the dispatch path
+// used to build for IndexSpec evaluation.
+type idxTerm struct {
+	v   int // index-variable position in IndexVars, or -1 for a literal
+	off int
+}
+
+func (t idxTerm) eval(coords []int) int {
+	if t.v < 0 {
+		return t.off
+	}
+	return coords[t.v] + t.off
+}
+
+// evalTerms evaluates a term list into dst (len(dst) == len(terms)) and
+// returns it; dst is caller-owned scratch, so the hot path never allocates.
+func evalTerms(dst []int, terms []idxTerm, coords []int) []int {
+	for d, t := range terms {
+		dst[d] = t.eval(coords)
+	}
+	return dst
+}
+
+// compileSpec precompiles one index spec against the kernel's index-variable
+// list. All-kind (slab) specs are rejected by the caller.
+func compileSpec(s core.IndexSpec, vars []string) idxTerm {
+	if s.Kind == core.IndexVarKind {
+		return idxTerm{v: varIndex(vars, s.Var), off: s.Off}
+	}
+	return idxTerm{v: -1, off: s.Lit}
+}
+
+// compileIndex precompiles index specs against the kernel's index-variable
+// list. Slab (All) coordinates are rejected by the caller.
+func compileIndex(specs []core.IndexSpec, vars []string) []idxTerm {
+	terms := make([]idxTerm, len(specs))
+	for d, s := range specs {
+		terms[d] = compileSpec(s, vars)
+	}
+	return terms
+}
+
+// slabTerm is one dimension of a precompiled slab selector: fixed selects a
+// single coordinate (term), free spans the dimension.
+type slabTerm struct {
+	fixed bool
+	term  idxTerm
+}
+
+// fetchPlan is the dispatch-time plan of one fetch statement: the resolved
+// field state plus precompiled coordinates, so exec neither looks up fields
+// by name nor evaluates IndexSpecs through a map.
+type fetchPlan struct {
+	fe    *core.FetchStmt
+	fs    *fieldState
+	terms []idxTerm  // element fetches
+	slab  []slabTerm // slab fetches (nil otherwise)
+	whole bool
+}
+
+// storePlan is the dispatch-time plan of one store statement.
+type storePlan struct {
+	ss    *core.StoreStmt
+	fs    *fieldState
+	terms []idxTerm // nil for whole-field stores
+}
+
 // kernelState is the per-kernel runtime state: the static plan derived from
 // the declaration plus per-age trackers and instrumentation counters.
 type kernelState struct {
@@ -55,6 +144,13 @@ type kernelState struct {
 	binds []varBind // one per index variable, in declaration order
 
 	fullMask uint32 // bits of all fetches (the "fully satisfied" mask)
+
+	// Dispatch plans: precompiled fetch/store coordinates (same order as
+	// decl.Fetches/decl.Stores) and a pool of reusable execution frames, so
+	// the dispatch hot path is allocation-free.
+	fetchPlans []fetchPlan
+	storePlans []storePlan
+	frames     *sync.Pool // of *execFrame
 
 	ages map[int]*ageTracker
 
@@ -70,23 +166,19 @@ type kernelState struct {
 	// dispatch overhead and kernel-code time, in nanoseconds. The handles
 	// live in the node's metrics registry (per-kernel labeled counters), so
 	// the Report is a projection of the registry rather than a second set
-	// of books.
-	instances  *obs.Counter
-	dispatchNs *obs.Counter
-	kernelNs   *obs.Counter
-	storeOps   *obs.Counter
-	// Registry values at node construction: a shared registry may carry
-	// counts from earlier nodes, and the Report must project only this
-	// node's contribution.
-	instances0, dispatchNs0, kernelNs0, storeOps0 int64
+	// of books; baselines make shared registries project per-node.
+	instances  counterWithBaseline
+	dispatchNs counterWithBaseline
+	kernelNs   counterWithBaseline
+	storeOps   counterWithBaseline
 }
 
 // ownInstances returns the instances dispatched by this node (registry value
 // minus the construction-time baseline); likewise the other own* accessors.
-func (ks *kernelState) ownInstances() int64  { return ks.instances.Load() - ks.instances0 }
-func (ks *kernelState) ownDispatchNs() int64 { return ks.dispatchNs.Load() - ks.dispatchNs0 }
-func (ks *kernelState) ownKernelNs() int64   { return ks.kernelNs.Load() - ks.kernelNs0 }
-func (ks *kernelState) ownStoreOps() int64   { return ks.storeOps.Load() - ks.storeOps0 }
+func (ks *kernelState) ownInstances() int64  { return ks.instances.Own() }
+func (ks *kernelState) ownDispatchNs() int64 { return ks.dispatchNs.Own() }
+func (ks *kernelState) ownKernelNs() int64   { return ks.kernelNs.Own() }
+func (ks *kernelState) ownStoreOps() int64   { return ks.storeOps.Own() }
 
 // ageTracker tracks all instances of one kernel at one age: the current index
 // domain, instance satisfaction, and completion.
@@ -137,6 +229,9 @@ type consEdge struct {
 	ks       *kernelState
 	fetch    *core.FetchStmt
 	fetchBit uint32
+	// terms are the precompiled element-fetch coordinates (nil for whole or
+	// slab fetches, which are satisfied by completeness rather than stores).
+	terms []idxTerm
 }
 
 type rangeEdge struct {

@@ -102,7 +102,7 @@ func TestReadyQueueAgeOrder(t *testing.T) {
 	q.Push(mk(1))
 	var ages []int
 	for i := 0; i < 4; i++ {
-		b, ok := q.Pop()
+		b, ok := q.Pop(0)
 		if !ok {
 			t.Fatal("queue closed early")
 		}
@@ -118,7 +118,7 @@ func TestReadyQueueAgeOrder(t *testing.T) {
 		t.Errorf("queue len = %d", q.Len())
 	}
 	q.Close()
-	if _, ok := q.Pop(); ok {
+	if _, ok := q.Pop(0); ok {
 		t.Error("pop after close+drain should report closed")
 	}
 	q.Push(mk(1)) // push after close is a no-op
@@ -131,7 +131,7 @@ func TestReadyQueueBlocksUntilPush(t *testing.T) {
 	q := newReadyQueue()
 	done := make(chan int, 1)
 	go func() {
-		b, ok := q.Pop()
+		b, ok := q.Pop(0)
 		if !ok {
 			done <- -1
 			return

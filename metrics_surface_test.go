@@ -1,0 +1,45 @@
+package p2g
+
+// The scheduler fast-path metrics (steals, event batches, per-worker queue
+// depth) must surface through a caller-supplied registry — that is what
+// /metricz dumps — not only through the final report.
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/runtime"
+)
+
+func TestSchedulerMetricsSurfaceInRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	n, err := runtime.NewNode(MulSum(), runtime.Options{
+		Workers: 3,
+		MaxAge:  8,
+		Metrics: reg,
+		Output:  io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dump := sb.String()
+	for _, name := range []string{
+		obs.MStealsTotal,
+		obs.MEventBatchesTotal,
+		obs.MWorkerQueueDepth + `{worker="0"}`,
+		obs.MWorkerQueueDepth + `{worker="2"}`,
+	} {
+		if !strings.Contains(dump, name) {
+			t.Errorf("registry dump missing %q; dump:\n%s", name, dump)
+		}
+	}
+}
