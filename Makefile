@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-full bench-json clean
+.PHONY: all build test race vet fmt-check ci bench bench-mem bench-full bench-json clean
 
 all: build
 
@@ -29,6 +29,13 @@ ci: fmt-check vet build race
 # stalls in the dispatch fast path without a full measurement run.
 bench:
 	$(GO) test -bench 'Fig9|Fig10|Dispatch' -benchtime=1x -count=1 .
+
+# bench-mem is the memory-path smoke gate (also run by ci.sh): the typed slab
+# store and wire-encode benchmarks with allocation reporting, enough to catch
+# regressions that reintroduce boxing or per-element allocation on the bulk
+# store/fetch path.
+bench-mem:
+	$(GO) test -bench 'FieldStoreSlab|WireEncodeFrame' -benchmem -benchtime=100x -count=1 -run xxx .
 
 # bench-full is the measurement run over the whole benchmark suite.
 bench-full:

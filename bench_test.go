@@ -14,6 +14,8 @@ package p2g
 //	BenchmarkFusion        — figure 4 Age=3 task-combining ablation
 //	BenchmarkPartition     — §IV HLS partitioning methods
 //	BenchmarkDCT           — naive vs AAN fast DCT (ref [2])
+//	BenchmarkFieldStoreSlab — bulk row store through the typed slab memory path
+//	BenchmarkWireEncodeFrame — typed-slab wire encoding of one frame component
 
 import (
 	"fmt"
@@ -21,6 +23,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/field"
 	"repro/internal/graph"
 	"repro/internal/kmeans"
 	"repro/internal/lang"
@@ -252,6 +255,51 @@ func BenchmarkDCT(b *testing.B) {
 			mjpeg.DCTFast(&blocks[i%len(blocks)], &out)
 		}
 	})
+}
+
+// BenchmarkFieldStoreSlab measures the bulk row-store path of the typed slab
+// memory layer: one 64-sample macroblock row per operation into a rank-2
+// uint8 field — the hot store of the MJPEG input path. Steady-state rows move
+// with a single typed copy and no allocation.
+func BenchmarkFieldStoreSlab(b *testing.B) {
+	const rows = 4096
+	row := field.NewArray(field.Uint8, 64)
+	for i := 0; i < 64; i++ {
+		row.SetFlat(field.Int64Val(int64(i)), i)
+	}
+	sel := []field.SlabDim{{Fixed: true}, {}}
+	var f *field.Field
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%rows == 0 {
+			f = field.New("bench", field.Uint8, 2, false)
+		}
+		sel[0].Index = i % rows
+		if _, err := f.StoreSlice(0, sel, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireEncodeFrame measures the dist wire encoding of one chroma
+// frame component (396 macroblock rows of 64 int32 coefficients) through the
+// length-prefixed typed-slab format.
+func BenchmarkWireEncodeFrame(b *testing.B) {
+	a := field.NewArray(field.Int32, 396, 64)
+	for i := 0; i < a.Len(); i++ {
+		a.SetFlat(field.Int64Val(int64(i%255-128)), i)
+	}
+	v := field.ArrayVal(a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := v.GobEncode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(buf)))
+	}
 }
 
 // BenchmarkLangCompile measures kernel-language compilation (the p2gc path).

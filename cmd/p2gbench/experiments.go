@@ -419,8 +419,9 @@ func distExp() error {
 			return err
 		}
 		exact := cents.Extent(0) == cfg.K
+		pts := workloads.CentroidPoints(cents)
 		for c := 0; c < cfg.K && exact; c++ {
-			if kmeans.SqDist(cents.At(c).Obj().(kmeans.Point), want.Centroids[c]) != 0 {
+			if kmeans.SqDist(pts[c], want.Centroids[c]) != 0 {
 				exact = false
 			}
 		}

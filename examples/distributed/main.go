@@ -89,9 +89,10 @@ func main() {
 		os.Exit(1)
 	}
 	want := kmeans.Sequential(kmeans.Generate(cfg.N, cfg.Dim, cfg.K, cfg.Seed), cfg.K, cfg.Iter)
+	pts := workloads.CentroidPoints(cents)
 	exact := true
 	for c := 0; c < cfg.K; c++ {
-		if kmeans.SqDist(cents.At(c).Obj().(kmeans.Point), want.Centroids[c]) != 0 {
+		if kmeans.SqDist(pts[c], want.Centroids[c]) != 0 {
 			exact = false
 		}
 	}

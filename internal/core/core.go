@@ -201,6 +201,31 @@ type StoreStmt struct {
 // Whole reports whether the statement stores the entire field generation.
 func (s StoreStmt) Whole() bool { return s.Index == nil }
 
+// Slab reports whether the statement stores a sub-slab (at least one All
+// coordinate): the local array covers the free dimensions, fixed coordinates
+// pin the rest. Slab stores complete in one bulk write, like whole-field
+// stores of the covered region.
+func (s StoreStmt) Slab() bool {
+	for _, ix := range s.Index {
+		if ix.Kind == IndexAllKind {
+			return true
+		}
+	}
+	return false
+}
+
+// SlabRank counts the All coordinates — the rank of the local array a slab
+// store consumes.
+func (s StoreStmt) SlabRank() int {
+	n := 0
+	for _, ix := range s.Index {
+		if ix.Kind == IndexAllKind {
+			n++
+		}
+	}
+	return n
+}
+
 // String renders the statement in kernel-language syntax.
 func (s StoreStmt) String() string {
 	str := fmt.Sprintf("store %s(%s)", s.Field, s.Age)

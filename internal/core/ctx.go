@@ -40,6 +40,13 @@ type Ctx struct {
 	// inited marks locals whose default value exists; array locals are
 	// materialized lazily so a fetched array never pays for a placeholder.
 	inited []bool
+	// arrs caches one reusable Array per array local. The cache survives
+	// Reset: each instance's array local is the same backing storage,
+	// reshaped in place (default locals via ResetEmpty, fetch destinations
+	// via SnapshotInto/FetchSlice). This is safe under the documented Ctx
+	// contract — never retain values out of a context that will be reset —
+	// and is what makes steady-state whole-field fetches allocation-free.
+	arrs   []*field.Array
 	stop   bool
 	timers *deadline.TimerSet
 	out    io.Writer
@@ -54,6 +61,7 @@ func NewReusableCtx(k *KernelDecl, timers *deadline.TimerSet, out io.Writer) *Ct
 		vals:   make([]field.Value, len(k.Locals)),
 		bound:  make([]bool, len(k.Locals)),
 		inited: make([]bool, len(k.Locals)),
+		arrs:   make([]*field.Array, len(k.Locals)),
 		timers: timers,
 		out:    out,
 	}
@@ -132,12 +140,20 @@ func (c *Ctx) Get(name string) field.Value {
 }
 
 // get returns the local at position i, materializing its default (zero
-// scalar or empty array) on first access.
+// scalar or empty array) on first access. Array defaults reuse the context's
+// cached backing storage.
 func (c *Ctx) get(i int) field.Value {
 	if !c.inited[i] {
 		l := &c.kernel.Locals[i]
 		if l.Rank > 0 {
-			c.vals[i] = field.ArrayVal(field.NewArray(l.Kind, make([]int, l.Rank)...))
+			a := c.arrs[i]
+			if a == nil {
+				a = field.NewArray(l.Kind, make([]int, l.Rank)...)
+				c.arrs[i] = a
+			} else {
+				a.ResetEmpty(l.Kind, l.Rank)
+			}
+			c.vals[i] = field.ArrayVal(a)
 		} else {
 			c.vals[i] = field.Zero(l.Kind)
 		}
@@ -160,6 +176,29 @@ func (c *Ctx) Set(name string, v field.Value) {
 // BindFetched is used by the runtime to install a fetched value; it binds the
 // local like Set.
 func (c *Ctx) BindFetched(name string, v field.Value) { c.Set(name, v) }
+
+// FetchDest returns the reusable destination array for the named array local
+// without initializing or binding it. The runtime fills it in place
+// (SnapshotInto/FetchSlice overwrite kind, extents and contents) and then
+// installs it with BindFetched, so steady-state whole-field and slab fetches
+// reuse the same backing storage across instances.
+func (c *Ctx) FetchDest(name string) *field.Array {
+	i := c.localIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("p2g: kernel %s has no local %q", c.kernel.Name, name))
+	}
+	a := c.arrs[i]
+	if a == nil {
+		l := &c.kernel.Locals[i]
+		rank := l.Rank
+		if rank < 1 {
+			rank = 1
+		}
+		a = field.NewArray(l.Kind, make([]int, rank)...)
+		c.arrs[i] = a
+	}
+	return a
+}
 
 // Bound reports whether the named local has been bound in this instance.
 func (c *Ctx) Bound(name string) bool {

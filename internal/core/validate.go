@@ -147,9 +147,8 @@ func (p *Program) validateKernel(k *KernelDecl, fields map[string]*FieldDecl) er
 					return errf("%s: negative index literal %d", stmt, ix.Lit)
 				}
 			case IndexAllKind:
-				if !binds {
-					return errf("%s: slab coordinates are only legal in fetch statements", stmt)
-				}
+				// Legal in both fetches (slab fetch, gated on generation
+				// completeness) and stores (bulk slab store).
 			default:
 				return errf("%s: invalid index spec", stmt)
 			}
@@ -214,12 +213,19 @@ func (p *Program) validateKernel(k *KernelDecl, fields map[string]*FieldDecl) er
 		if err := checkIndex(stmt, ss.Index, f, false); err != nil {
 			return err
 		}
-		if ss.Whole() {
+		switch {
+		case ss.Whole():
 			if l.Rank != f.Rank {
 				return errf("%s: whole-field store from rank-%d local (field rank %d)", stmt, l.Rank, f.Rank)
 			}
-		} else if l.Rank != 0 {
-			return errf("%s: element store from array local %q", stmt, l.Name)
+		case ss.Slab():
+			if l.Rank != ss.SlabRank() {
+				return errf("%s: slab store of rank %d from rank-%d local", stmt, ss.SlabRank(), l.Rank)
+			}
+		default:
+			if l.Rank != 0 {
+				return errf("%s: element store from array local %q", stmt, l.Name)
+			}
 		}
 		if !compatible(l.Kind, f.Kind) {
 			return errf("%s: local kind %s incompatible with field kind %s", stmt, l.Kind, f.Kind)

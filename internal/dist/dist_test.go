@@ -122,10 +122,10 @@ func TestDistributedKMeansMatchesSequential(t *testing.T) {
 	if got.Extent(0) != cfg.K {
 		t.Fatalf("%d centroids in shadow", got.Extent(0))
 	}
+	pts := workloads.CentroidPoints(got)
 	for c := 0; c < cfg.K; c++ {
-		p := got.At(c).Obj().(kmeans.Point)
-		if kmeans.SqDist(p, want.Centroids[c]) != 0 {
-			t.Fatalf("centroid %d: distributed %v, sequential %v", c, p, want.Centroids[c])
+		if kmeans.SqDist(pts[c], want.Centroids[c]) != 0 {
+			t.Fatalf("centroid %d: distributed %v, sequential %v", c, pts[c], want.Centroids[c])
 		}
 	}
 }

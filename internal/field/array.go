@@ -5,15 +5,20 @@ import (
 	"strings"
 )
 
-// Array is a local, mutable, rank-N array of Values. Kernel bodies use Arrays
-// for `local` fields and for whole-field fetches; unlike global Fields,
+// Array is a local, mutable, rank-N array of elements. Kernel bodies use
+// Arrays for `local` fields and for whole-field fetches; unlike global Fields,
 // Arrays have no write-once restriction and no ages. Arrays grow implicitly:
 // Put past the current extent resizes the array, mirroring the implicit
 // resizing of global fields.
+//
+// Storage is a kind-specialized flat slab (see slab.go). Scalar access via
+// At/Set boxes and unboxes Values at the boundary; the typed accessors
+// (Uint8s, Int32s, Int64s, Float64s) expose the live flat backing so kernels
+// can read and write whole rows with plain Go slice operations.
 type Array struct {
 	kind    Kind
 	extents []int
-	data    []Value
+	data    slab
 }
 
 // NewArray creates an array with the given element kind and extents. A rank-1
@@ -29,43 +34,94 @@ func NewArray(kind Kind, extents ...int) *Array {
 		}
 		n *= e
 	}
-	return &Array{kind: kind, extents: append([]int(nil), extents...), data: make([]Value, n)}
+	return &Array{kind: kind, extents: append([]int(nil), extents...), data: newSlab(kind, n)}
 }
 
-// ArrayFromInt32 builds a rank-1 int32 array from a Go slice.
+// ArrayFromInt32 builds a rank-1 int32 array from a Go slice (copied).
 func ArrayFromInt32(vs []int32) *Array {
 	a := NewArray(Int32, len(vs))
-	for i, v := range vs {
-		a.data[i] = Int32Val(v)
-	}
+	copy(a.data.i32, vs)
 	return a
 }
 
-// ArrayFromFloat64 builds a rank-1 float64 array from a Go slice.
+// ArrayFromFloat64 builds a rank-1 float64 array from a Go slice (copied).
 func ArrayFromFloat64(vs []float64) *Array {
 	a := NewArray(Float64, len(vs))
-	for i, v := range vs {
-		a.data[i] = Float64Val(v)
-	}
+	copy(a.data.f64, vs)
 	return a
 }
 
-// Int32Slice returns the rank-1 array's contents as a Go slice.
+// ArrayFromUint8 builds a rank-1 uint8 array from a Go slice (copied).
+func ArrayFromUint8(vs []uint8) *Array {
+	a := NewArray(Uint8, len(vs))
+	copy(a.data.u8, vs)
+	return a
+}
+
+// Int32Slice returns a copy of the rank-1 array's contents as a Go slice.
 func (a *Array) Int32Slice() []int32 {
-	out := make([]int32, len(a.data))
-	for i, v := range a.data {
-		out[i] = v.Int32()
+	out := make([]int32, a.Len())
+	if a.data.class == classI32 {
+		copy(out, a.data.i32)
+		return out
+	}
+	for i := range out {
+		out[i] = a.data.get(a.kind, i).Int32()
 	}
 	return out
 }
 
-// Float64Slice returns the rank-1 array's contents as a Go slice.
+// Float64Slice returns a copy of the rank-1 array's contents as a Go slice.
 func (a *Array) Float64Slice() []float64 {
-	out := make([]float64, len(a.data))
-	for i, v := range a.data {
-		out[i] = v.Float64()
+	out := make([]float64, a.Len())
+	if a.data.class == classF64 {
+		copy(out, a.data.f64)
+		return out
+	}
+	for i := range out {
+		out[i] = a.data.get(a.kind, i).Float64()
 	}
 	return out
+}
+
+// Uint8s returns the live flat backing of a uint8/bool-kind array in row-major
+// order. Mutations are visible to the array; the slice is invalidated by
+// Grow/Put past the extent. It panics for other kinds.
+func (a *Array) Uint8s() []uint8 {
+	if a.data.class != classU8 {
+		panic(fmt.Sprintf("field: Uint8s on %s array", a.kind))
+	}
+	return a.data.u8
+}
+
+// Int32s returns the live flat backing of an int32-kind array in row-major
+// order. Mutations are visible to the array; the slice is invalidated by
+// Grow/Put past the extent. It panics for other kinds.
+func (a *Array) Int32s() []int32 {
+	if a.data.class != classI32 {
+		panic(fmt.Sprintf("field: Int32s on %s array", a.kind))
+	}
+	return a.data.i32
+}
+
+// Int64s returns the live flat backing of an int64-kind array in row-major
+// order. Mutations are visible to the array; the slice is invalidated by
+// Grow/Put past the extent. It panics for other kinds.
+func (a *Array) Int64s() []int64 {
+	if a.data.class != classI64 {
+		panic(fmt.Sprintf("field: Int64s on %s array", a.kind))
+	}
+	return a.data.i64
+}
+
+// Float64s returns the live flat backing of a float32/float64-kind array in
+// row-major order. Mutations are visible to the array; the slice is
+// invalidated by Grow/Put past the extent. It panics for other kinds.
+func (a *Array) Float64s() []float64 {
+	if a.data.class != classF64 {
+		panic(fmt.Sprintf("field: Float64s on %s array", a.kind))
+	}
+	return a.data.f64
 }
 
 // Kind returns the element kind.
@@ -87,7 +143,7 @@ func (a *Array) Extent(d int) int {
 func (a *Array) Extents() []int { return append([]int(nil), a.extents...) }
 
 // Len returns the total number of elements.
-func (a *Array) Len() int { return len(a.data) }
+func (a *Array) Len() int { return a.data.len() }
 
 // flatten converts a multi-dimensional index to a flat offset, or -1 if any
 // coordinate is out of bounds.
@@ -112,11 +168,11 @@ func (a *Array) At(idx ...int) Value {
 	if off < 0 {
 		panic(fmt.Sprintf("field: get %v out of bounds for extents %v", idx, a.extents))
 	}
-	return a.data[off]
+	return a.data.get(a.kind, off)
 }
 
 // AtFlat returns the element at flat offset i in row-major order.
-func (a *Array) AtFlat(i int) Value { return a.data[i] }
+func (a *Array) AtFlat(i int) Value { return a.data.get(a.kind, i) }
 
 // Set stores v at the given coordinates. It panics if idx is out of bounds;
 // use Put for the growing store.
@@ -125,11 +181,11 @@ func (a *Array) Set(v Value, idx ...int) {
 	if off < 0 {
 		panic(fmt.Sprintf("field: set %v out of bounds for extents %v", idx, a.extents))
 	}
-	a.data[off] = v.Convert(a.kind)
+	a.data.set(a.kind, off, v)
 }
 
 // SetFlat stores v at flat offset i in row-major order.
-func (a *Array) SetFlat(v Value, i int) { a.data[i] = v.Convert(a.kind) }
+func (a *Array) SetFlat(v Value, i int) { a.data.set(a.kind, i, v) }
 
 // Put stores v at the given coordinates, growing the array as needed so that
 // every coordinate is in range. This implements the kernel language's
@@ -139,17 +195,22 @@ func (a *Array) Put(v Value, idx ...int) {
 		panic(fmt.Sprintf("field: put rank mismatch: %d coordinates for rank-%d array", len(idx), len(a.extents)))
 	}
 	grew := false
-	newExt := append([]int(nil), a.extents...)
 	for d, i := range idx {
 		if i < 0 {
 			panic(fmt.Sprintf("field: put negative index %d", i))
 		}
-		if i >= newExt[d] {
-			newExt[d] = i + 1
+		if i >= a.extents[d] {
 			grew = true
 		}
 	}
 	if grew {
+		newExt := make([]int, len(a.extents))
+		for d := range newExt {
+			newExt[d] = a.extents[d]
+			if idx[d] >= newExt[d] {
+				newExt[d] = idx[d] + 1
+			}
+		}
 		a.Grow(newExt...)
 	}
 	a.Set(v, idx...)
@@ -174,62 +235,148 @@ func (a *Array) Grow(extents ...int) {
 	if same {
 		return
 	}
-	// Rank-1 fast path with amortized doubling: Put-driven growth (the
-	// kernel language's append idiom) costs O(n) total instead of O(n²).
-	if len(a.extents) == 1 {
-		n := extents[0]
-		if n <= cap(a.data) {
-			a.data = a.data[:n]
-		} else {
-			c := 2 * cap(a.data)
-			if c < n {
-				c = n
-			}
-			nd := make([]Value, n, c)
-			copy(nd, a.data)
-			a.data = nd
+	n := 1
+	onlyOuter := true
+	for d, e := range extents {
+		n *= e
+		if d > 0 && e != a.extents[d] {
+			onlyOuter = false
 		}
-		a.extents[0] = n
+	}
+	// Fast path: growth confined to the outermost dimension (or an empty
+	// array taking any shape) preserves flat row-major offsets, so the slab
+	// resizes in place with amortized doubling instead of remapping — this
+	// also keeps pooled/cached backing capacity alive across reuse.
+	if onlyOuter || a.data.len() == 0 {
+		a.data.resize(n, 2*a.data.capacity())
+		copy(a.extents, extents)
 		return
 	}
-	n := 1
-	for _, e := range extents {
-		n *= e
-	}
-	nd := make([]Value, n)
-	if len(a.data) > 0 {
-		idx := make([]int, len(a.extents))
-		for off := range a.data {
-			noff := 0
-			for d := range idx {
-				noff = noff*extents[d] + idx[d]
-			}
-			nd[noff] = a.data[off]
-			for d := len(idx) - 1; d >= 0; d-- {
-				idx[d]++
-				if idx[d] < a.extents[d] {
-					break
-				}
-				idx[d] = 0
-			}
-		}
-	}
+	nd := newSlab(a.kind, n)
+	remapSlab(&nd, extents, &a.data, a.extents)
 	a.extents = append([]int(nil), extents...)
 	a.data = nd
 }
 
-// Clone returns a deep copy of the array. Element payloads of kind Any are
-// shared (they are treated as immutable once stored).
-func (a *Array) Clone() *Array {
-	c := &Array{kind: a.kind, extents: append([]int(nil), a.extents...), data: make([]Value, len(a.data))}
-	for i, v := range a.data {
-		if v.IsArray() {
-			c.data[i] = ArrayVal(v.Array().Clone())
-		} else {
-			c.data[i] = v
+// remapSlab copies every element of src (laid out with srcExt) into dst (laid
+// out with the elementwise-larger dstExt), preserving coordinates. Both slabs
+// must share a class.
+func remapSlab(dst *slab, dstExt []int, src *slab, srcExt []int) {
+	n := src.len()
+	if n == 0 {
+		return
+	}
+	// Rows along the innermost dimension stay contiguous in both layouts, so
+	// copy a row at a time.
+	last := len(srcExt) - 1
+	rowLen := srcExt[last]
+	if rowLen == 0 {
+		return
+	}
+	idx := make([]int, len(srcExt))
+	for off := 0; off < n; off += rowLen {
+		noff := 0
+		for d := range idx {
+			noff = noff*dstExt[d] + idx[d]
+		}
+		dst.copyRange(noff, src, off, rowLen)
+		for d := last - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < srcExt[d] {
+				break
+			}
+			idx[d] = 0
 		}
 	}
+}
+
+// Clone returns a deep copy of the array. Element payloads of kind Any are
+// shared (they are treated as immutable once stored), but nested array values
+// are cloned.
+func (a *Array) Clone() *Array {
+	c := &Array{kind: a.kind, extents: append([]int(nil), a.extents...), data: newSlab(a.kind, a.data.len())}
+	if a.data.class == classVal {
+		for i, v := range a.data.vs {
+			if v.IsArray() {
+				c.data.vs[i] = ArrayVal(v.Array().Clone())
+			} else {
+				c.data.vs[i] = v
+			}
+		}
+	} else {
+		c.data.copyRange(0, &a.data, 0, a.data.len())
+	}
 	return c
+}
+
+// CloneInto makes dst a deep copy of the array, reusing dst's backing storage
+// where capacity allows. It is the allocation-free steady-state counterpart
+// of Clone for reused per-instance destination arrays.
+func (a *Array) CloneInto(dst *Array) {
+	dst.resetShape(a.kind, a.extents)
+	if a.data.class == classVal {
+		for i, v := range a.data.vs {
+			if v.IsArray() {
+				dst.data.vs[i] = ArrayVal(v.Array().Clone())
+			} else {
+				dst.data.vs[i] = v
+			}
+		}
+		return
+	}
+	dst.data.copyRange(0, &a.data, 0, a.data.len())
+}
+
+// resetShape repurposes the array in place: kind set to k, extents copied from
+// ext, backing slab resized to the product of ext. Contents are unspecified
+// after the call (callers overwrite every element); reuses the extents slice
+// and slab capacity when possible.
+func (a *Array) resetShape(k Kind, ext []int) {
+	n := 1
+	for _, e := range ext {
+		n *= e
+	}
+	if cap(a.extents) >= len(ext) {
+		a.extents = a.extents[:len(ext)]
+		copy(a.extents, ext)
+	} else {
+		a.extents = append([]int(nil), ext...)
+	}
+	cls := classOf(k)
+	a.kind = k
+	if a.data.class != cls {
+		a.data = newSlab(k, n)
+		return
+	}
+	if n <= a.data.capacity() {
+		// Zero only matters for callers that do not overwrite every slot;
+		// all resetShape callers overwrite, but stale classVal references
+		// would pin memory, so drop them.
+		if cls == classVal {
+			a.data.clearFull()
+		}
+		a.data.reslice(n)
+		return
+	}
+	a.data.alloc(n, n)
+}
+
+// ResetEmpty repurposes the array in place as an empty array of the given
+// kind and rank (all extents zero), reusing backing capacity. Pooled kernel
+// contexts use it to recycle local-array storage across instances.
+func (a *Array) ResetEmpty(k Kind, rank int) { a.resetZero(k, rank) }
+
+// resetZero repurposes the array as an empty rank-`rank` array of kind k with
+// all-zero extents, without allocating for small ranks.
+func (a *Array) resetZero(k Kind, rank int) {
+	var buf [4]int
+	var ext []int
+	if rank <= len(buf) {
+		ext = buf[:rank]
+	} else {
+		ext = make([]int, rank)
+	}
+	a.resetShape(k, ext)
 }
 
 // Equal reports element-wise equality of two arrays.
@@ -245,12 +392,7 @@ func (a *Array) Equal(o *Array) bool {
 			return false
 		}
 	}
-	for i := range a.data {
-		if !a.data[i].Equal(o.data[i]) {
-			return false
-		}
-	}
-	return true
+	return a.data.equalRange(&o.data, a.data.len())
 }
 
 // String formats the array like {1, 2, 3} (rank-1) or nested braces.
@@ -271,7 +413,7 @@ func (a *Array) format(b *strings.Builder, dim, base int) {
 			b.WriteString(", ")
 		}
 		if dim == len(a.extents)-1 {
-			b.WriteString(a.data[base+i].String())
+			b.WriteString(a.data.get(a.kind, base+i).String())
 		} else {
 			a.format(b, dim+1, base+i*stride)
 		}

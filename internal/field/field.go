@@ -16,6 +16,11 @@ var ErrWriteTwice = fmt.Errorf("write-once violation")
 // current extent. An age becomes "complete" when the runtime's dependency
 // analyzer determines that every producer kernel instance for that age has
 // finished; completeness gates whole-field fetches.
+//
+// Generation storage is a kind-specialized flat slab (see slab.go): typed Go
+// slices for numeric/bool kinds, []Value only for String/Any. Dropped
+// generations return their slabs to per-class pools so steady-state aged
+// pipelines stop allocating generation storage.
 type Field struct {
 	name string
 	kind Kind
@@ -30,11 +35,50 @@ type Field struct {
 // ageStore holds one generation of field data.
 type ageStore struct {
 	extents  []int
-	data     []Value
+	data     slab
 	written  []bool
 	writes   int
 	complete bool
-	dropped  bool
+}
+
+// agePools recycles dropped generations per storage class. Pooled stores are
+// fully reset on checkout; slab growth re-zeroes recycled capacity (see
+// slab.resize), so a recycled generation is indistinguishable from a fresh
+// one.
+var agePools [numSlabClasses]sync.Pool
+
+func newAgeStore(kind Kind, rank int) *ageStore {
+	cls := classOf(kind)
+	if v := agePools[cls].Get(); v != nil {
+		s := v.(*ageStore)
+		s.reset(rank)
+		return s
+	}
+	return &ageStore{extents: make([]int, rank), data: slab{class: cls}}
+}
+
+// reset prepares a pooled store for reuse as an empty generation.
+func (s *ageStore) reset(rank int) {
+	if cap(s.extents) >= rank {
+		s.extents = s.extents[:rank]
+		clear(s.extents)
+	} else {
+		s.extents = make([]int, rank)
+	}
+	s.data.reslice(0)
+	s.written = s.written[:0]
+	s.writes = 0
+	s.complete = false
+}
+
+// recycle returns a dropped generation to its class pool. String/Any slabs
+// are cleared eagerly so dropped payload references are released now, not at
+// next reuse.
+func recycleAge(s *ageStore) {
+	if s.data.class == classVal {
+		s.data.clearFull()
+	}
+	agePools[s.data.class].Put(s)
 }
 
 // New creates a field. Rank must be at least 1. Non-aged fields behave as a
@@ -67,7 +111,7 @@ func (f *Field) age(a int, create bool) *ageStore {
 		if a < f.minAge {
 			panic(fmt.Sprintf("field %s: store to garbage-collected age %d", f.name, a))
 		}
-		s = &ageStore{extents: make([]int, f.rank), data: nil, written: nil}
+		s = newAgeStore(f.kind, f.rank)
 		f.ages[a] = s
 	}
 	return s
@@ -77,7 +121,9 @@ func (f *Field) age(a int, create bool) *ageStore {
 type StoreResult struct {
 	// Grew is true if the store enlarged the field's extent at this age.
 	Grew bool
-	// Extents is the extent after the store (a copy).
+	// Extents is the extent after the store (a copy). It is only populated
+	// when Grew is true; stores within the current extent — the steady-state
+	// hot path — return a nil Extents so every store does not allocate.
 	Extents []int
 	// Count is the number of elements written by this store.
 	Count int
@@ -85,52 +131,45 @@ type StoreResult struct {
 
 func (s *ageStore) grow(extents []int) {
 	same := true
+	onlyOuter := true
 	for d, e := range extents {
 		if e < s.extents[d] {
 			extents[d] = s.extents[d]
 		} else if e > s.extents[d] {
 			same = false
+			if d > 0 {
+				onlyOuter = false
+			}
 		}
 	}
 	if same {
-		return
-	}
-	// Rank-1 fast path: extend in place with amortized doubling, so
-	// element-by-element stores (the dominant pattern for per-macroblock
-	// kernels) cost O(n) total instead of O(n²) remapping.
-	if len(extents) == 1 {
-		n := extents[0]
-		if n <= cap(s.data) {
-			s.data = s.data[:n]
-			s.written = s.written[:n]
-		} else {
-			c := 2 * cap(s.data)
-			if c < n {
-				c = n
-			}
-			nd := make([]Value, n, c)
-			nw := make([]bool, n, c)
-			copy(nd, s.data)
-			copy(nw, s.written)
-			s.data, s.written = nd, nw
-		}
-		s.extents[0] = n
 		return
 	}
 	n := 1
 	for _, e := range extents {
 		n *= e
 	}
-	nd := make([]Value, n)
+	// Fast path: growth confined to the outermost dimension preserves every
+	// element's flat offset, and an empty generation has nothing to remap —
+	// extend in place with amortized doubling (reusing pooled capacity).
+	// Element-by-element and row-by-row stores — the dominant patterns for
+	// per-macroblock kernels — cost O(n) total instead of O(n²) remapping.
+	if onlyOuter || s.data.len() == 0 {
+		s.data.resize(n, 2*s.data.capacity())
+		s.written = growBools(s.written, n)
+		copy(s.extents, extents)
+		return
+	}
+	nd := newSlab0(s.data.class, n)
 	nw := make([]bool, n)
-	if len(s.data) > 0 {
+	if s.data.len() > 0 {
+		remapSlab(&nd, extents, &s.data, s.extents)
 		idx := make([]int, len(s.extents))
-		for off := range s.data {
+		for off := range s.written {
 			noff := 0
 			for d := range idx {
 				noff = noff*extents[d] + idx[d]
 			}
-			nd[noff] = s.data[off]
 			nw[noff] = s.written[off]
 			for d := len(idx) - 1; d >= 0; d-- {
 				idx[d]++
@@ -141,9 +180,34 @@ func (s *ageStore) grow(extents []int) {
 			}
 		}
 	}
-	s.extents = extents
+	copy(s.extents, extents)
 	s.data = nd
 	s.written = nw
+}
+
+// newSlab0 builds a zeroed slab of the given class directly.
+func newSlab0(cls slabClass, n int) slab {
+	s := slab{class: cls}
+	s.alloc(n, n)
+	return s
+}
+
+// growBools extends a bool slice to length n with amortized doubling,
+// zeroing recycled capacity.
+func growBools(b []bool, n int) []bool {
+	if n <= cap(b) {
+		old := len(b)
+		b = b[:n]
+		clear(b[old:n])
+		return b
+	}
+	c := 2 * cap(b)
+	if c < n {
+		c = n
+	}
+	nb := make([]bool, n, c)
+	copy(nb, b)
+	return nb
 }
 
 func (s *ageStore) flatten(idx []int) int {
@@ -155,6 +219,12 @@ func (s *ageStore) flatten(idx []int) int {
 		off = off*s.extents[d] + i
 	}
 	return off
+}
+
+// growResult fills the StoreResult extents copy for a store that grew the
+// generation. Only growing stores allocate.
+func (s *ageStore) growResult(count int) (StoreResult, error) {
+	return StoreResult{Grew: true, Extents: append([]int(nil), s.extents...), Count: count}, nil
 }
 
 // Store writes a single element at (age, idx...), growing the extent if the
@@ -171,27 +241,35 @@ func (f *Field) Store(age int, v Value, idx ...int) (StoreResult, error) {
 		return StoreResult{}, fmt.Errorf("field %s(%d): store after age marked complete", f.name, age)
 	}
 	grew := false
-	ext := append([]int(nil), s.extents...)
 	for d, i := range idx {
 		if i < 0 {
 			return StoreResult{}, fmt.Errorf("field %s: negative index %d", f.name, i)
 		}
-		if i >= ext[d] {
-			ext[d] = i + 1
+		if i >= s.extents[d] {
 			grew = true
 		}
 	}
 	if grew {
+		ext := make([]int, f.rank)
+		for d := range ext {
+			ext[d] = s.extents[d]
+			if idx[d] >= ext[d] {
+				ext[d] = idx[d] + 1
+			}
+		}
 		s.grow(ext)
 	}
 	off := s.flatten(idx)
 	if s.written[off] {
 		return StoreResult{}, fmt.Errorf("field %s(%d)%v: %w", f.name, age, idx, ErrWriteTwice)
 	}
-	s.data[off] = v.Convert(f.kind)
+	s.data.set(f.kind, off, v)
 	s.written[off] = true
 	s.writes++
-	return StoreResult{Grew: grew, Extents: append([]int(nil), s.extents...), Count: 1}, nil
+	if grew {
+		return s.growResult(1)
+	}
+	return StoreResult{Count: 1}, nil
 }
 
 // StoreAll writes an entire generation from a local array: extents are set to
@@ -208,26 +286,44 @@ func (f *Field) StoreAll(age int, a *Array) (StoreResult, error) {
 		return StoreResult{}, fmt.Errorf("field %s(%d): store after age marked complete", f.name, age)
 	}
 	grew := false
-	ext := append([]int(nil), s.extents...)
 	for d := 0; d < f.rank; d++ {
-		if a.Extent(d) > ext[d] {
-			ext[d] = a.Extent(d)
+		if a.Extent(d) > s.extents[d] {
 			grew = true
 		}
 	}
 	if grew {
+		ext := make([]int, f.rank)
+		for d := range ext {
+			ext[d] = s.extents[d]
+			if a.Extent(d) > ext[d] {
+				ext[d] = a.Extent(d)
+			}
+		}
 		s.grow(ext)
 	}
-	// Walk the array in row-major order and map into the (possibly larger)
-	// field extents.
-	idx := make([]int, f.rank)
 	n := a.Len()
+	// Bulk path: the array covers the whole (previously empty) generation
+	// with a raw-copy-compatible representation — one typed copy.
+	if s.writes == 0 && rawCopyCompatible(f.kind, a.kind) && extentsEqual(s.extents, a.extents) {
+		s.data.copyRange(0, &a.data, 0, n)
+		for i := range s.written {
+			s.written[i] = true
+		}
+		s.writes = n
+		if grew {
+			return s.growResult(n)
+		}
+		return StoreResult{Count: n}, nil
+	}
+	// General path: walk the array in row-major order and map into the
+	// (possibly larger) field extents.
+	idx := make([]int, f.rank)
 	for flat := 0; flat < n; flat++ {
 		off := s.flatten(idx)
 		if s.written[off] {
 			return StoreResult{}, fmt.Errorf("field %s(%d)%v: %w", f.name, age, idx, ErrWriteTwice)
 		}
-		s.data[off] = a.AtFlat(flat).Convert(f.kind)
+		s.data.set(f.kind, off, a.data.get(a.kind, flat))
 		s.written[off] = true
 		s.writes++
 		for d := f.rank - 1; d >= 0; d-- {
@@ -238,7 +334,175 @@ func (f *Field) StoreAll(age int, a *Array) (StoreResult, error) {
 			idx[d] = 0
 		}
 	}
-	return StoreResult{Grew: grew, Extents: append([]int(nil), s.extents...), Count: n}, nil
+	if grew {
+		return s.growResult(n)
+	}
+	return StoreResult{Count: n}, nil
+}
+
+func extentsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for d := range a {
+		if a[d] != b[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// StoreSlice writes a sub-slab of the generation at (age, sel) from a local
+// array: fixed selector dimensions pin a coordinate, free dimensions are
+// covered by the array's extents in field order. The generation grows as
+// needed; every covered position obeys write-once. When the fixed dimensions
+// form a prefix and the trailing field extents match the array's (the
+// store-one-row case), the data moves with a single typed copy.
+func (f *Field) StoreSlice(age int, sel []SlabDim, a *Array) (StoreResult, error) {
+	if len(sel) != f.rank {
+		return StoreResult{}, fmt.Errorf("field %s: slice store rank mismatch: %d selectors for rank-%d field", f.name, len(sel), f.rank)
+	}
+	free := 0
+	fixedPrefix := true
+	for _, sd := range sel {
+		if sd.Fixed {
+			if sd.Index < 0 {
+				return StoreResult{}, fmt.Errorf("field %s: negative index %d", f.name, sd.Index)
+			}
+			if free > 0 {
+				fixedPrefix = false
+			}
+		} else {
+			free++
+		}
+	}
+	if free == 0 {
+		return StoreResult{}, fmt.Errorf("field %s: slice store with no free dimensions (use Store)", f.name)
+	}
+	if a.Rank() != free {
+		return StoreResult{}, fmt.Errorf("field %s: slice store rank mismatch: rank-%d array for %d free dimensions", f.name, a.Rank(), free)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.age(age, true)
+	if s.complete {
+		return StoreResult{}, fmt.Errorf("field %s(%d): store after age marked complete", f.name, age)
+	}
+	// Required extent per dimension: fixed index + 1, or the array's extent
+	// for the matching free dimension.
+	grew := false
+	j := 0
+	for d, sd := range sel {
+		want := 0
+		if sd.Fixed {
+			want = sd.Index + 1
+		} else {
+			want = a.Extent(j)
+			j++
+		}
+		if want > s.extents[d] {
+			grew = true
+		}
+	}
+	if grew {
+		ext := make([]int, f.rank)
+		j = 0
+		for d, sd := range sel {
+			ext[d] = s.extents[d]
+			want := 0
+			if sd.Fixed {
+				want = sd.Index + 1
+			} else {
+				want = a.Extent(j)
+				j++
+			}
+			if want > ext[d] {
+				ext[d] = want
+			}
+		}
+		s.grow(ext)
+	}
+	n := a.Len()
+	if n == 0 {
+		if grew {
+			return s.growResult(0)
+		}
+		return StoreResult{}, nil
+	}
+	// Contiguous fast path: fixed dims form a prefix and every free field
+	// dimension after the first matches the array's extent, so the covered
+	// region is one flat run.
+	contig := fixedPrefix && rawCopyCompatible(f.kind, a.kind)
+	if contig {
+		j = 0
+		for d, sd := range sel {
+			if sd.Fixed {
+				continue
+			}
+			if j > 0 && s.extents[d] != a.Extent(j) {
+				contig = false
+				break
+			}
+			j++
+		}
+	}
+	if contig {
+		base := 0
+		j = 0
+		for d, sd := range sel {
+			i := 0
+			if sd.Fixed {
+				i = sd.Index
+			}
+			base = base*s.extents[d] + i
+		}
+		for i := base; i < base+n; i++ {
+			if s.written[i] {
+				return StoreResult{}, fmt.Errorf("field %s(%d) slice at %d: %w", f.name, age, i, ErrWriteTwice)
+			}
+			s.written[i] = true
+		}
+		s.data.copyRange(base, &a.data, 0, n)
+		s.writes += n
+		if grew {
+			return s.growResult(n)
+		}
+		return StoreResult{Count: n}, nil
+	}
+	// General path: walk the array in row-major order, pinning fixed dims.
+	idx := make([]int, f.rank)
+	for d, sd := range sel {
+		if sd.Fixed {
+			idx[d] = sd.Index
+		}
+	}
+	freeDims := make([]int, 0, free)
+	for d, sd := range sel {
+		if !sd.Fixed {
+			freeDims = append(freeDims, d)
+		}
+	}
+	for flat := 0; flat < n; flat++ {
+		off := s.flatten(idx)
+		if s.written[off] {
+			return StoreResult{}, fmt.Errorf("field %s(%d)%v: %w", f.name, age, idx, ErrWriteTwice)
+		}
+		s.data.set(f.kind, off, a.data.get(a.kind, flat))
+		s.written[off] = true
+		s.writes++
+		for k := free - 1; k >= 0; k-- {
+			d := freeDims[k]
+			idx[d]++
+			if idx[d] < a.Extent(k) {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	if grew {
+		return s.growResult(n)
+	}
+	return StoreResult{Count: n}, nil
 }
 
 // At returns the element at (age, idx...). The second result is false if the
@@ -254,22 +518,31 @@ func (f *Field) At(age int, idx ...int) (Value, bool) {
 	if off < 0 || !s.written[off] {
 		return Value{}, false
 	}
-	return s.data[off], true
+	return s.data.get(f.kind, off), true
 }
 
-// Snapshot copies the entire generation at the given age into a local Array.
-// Unwritten positions are zero values. Snapshotting a non-existent age yields
-// an empty array with zero extents.
+// Snapshot copies the entire generation at the given age into a fresh local
+// Array. Unwritten positions are zero values. Snapshotting a non-existent age
+// yields an empty array with zero extents.
 func (f *Field) Snapshot(age int) *Array {
+	a := &Array{}
+	f.SnapshotInto(age, a)
+	return a
+}
+
+// SnapshotInto copies the entire generation at the given age into dst,
+// reusing dst's backing storage when capacity allows — the allocation-free
+// whole-field fetch path for reused per-instance destination arrays.
+func (f *Field) SnapshotInto(age int, dst *Array) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	s := f.ages[age]
 	if s == nil {
-		return NewArray(f.kind, make([]int, f.rank)...)
+		dst.resetZero(f.kind, f.rank)
+		return
 	}
-	a := NewArray(f.kind, s.extents...)
-	copy(a.data, s.data)
-	return a
+	dst.resetShape(f.kind, s.extents)
+	dst.data.copyRange(0, &s.data, 0, s.data.len())
 }
 
 // Extents returns the current extents at the given age (zeros if the age has
@@ -282,6 +555,18 @@ func (f *Field) Extents(age int) []int {
 		return make([]int, f.rank)
 	}
 	return append([]int(nil), s.extents...)
+}
+
+// Extent returns the current extent of dimension d at the given age without
+// allocating (0 if the age has never been stored to).
+func (f *Field) Extent(age, d int) int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s := f.ages[age]
+	if s == nil || d < 0 || d >= len(s.extents) {
+		return 0
+	}
+	return s.extents[d]
 }
 
 // Writes returns the number of elements written at the given age.
@@ -311,29 +596,32 @@ func (f *Field) Complete(age int) bool {
 	return s != nil && s.complete
 }
 
-// DropAge garbage collects a single generation, releasing its storage. It
-// reports whether the age was live.
+// DropAge garbage collects a single generation, returning its storage to the
+// slab pool. It reports whether the age was live.
 func (f *Field) DropAge(age int) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if _, ok := f.ages[age]; !ok {
+	s, ok := f.ages[age]
+	if !ok {
 		return false
 	}
 	delete(f.ages, age)
+	recycleAge(s)
 	return true
 }
 
-// DropAgesBelow garbage collects every generation with age < min, releasing
-// its storage. It returns the number of generations dropped. Dropped ages can
-// no longer be stored to or fetched from; the runtime only drops ages whose
-// consumers have all finished.
+// DropAgesBelow garbage collects every generation with age < min, returning
+// storage to the slab pool. It returns the number of generations dropped.
+// Dropped ages can no longer be stored to or fetched from; the runtime only
+// drops ages whose consumers have all finished.
 func (f *Field) DropAgesBelow(min int) int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	n := 0
-	for a := range f.ages {
+	for a, s := range f.ages {
 		if a < min {
 			delete(f.ages, a)
+			recycleAge(s)
 			n++
 		}
 	}
@@ -341,6 +629,21 @@ func (f *Field) DropAgesBelow(min int) int {
 		f.minAge = min
 	}
 	return n
+}
+
+// Release drops every live generation into the slab pools, leaving the field
+// empty but reusable. A run's mid-stream garbage collection only recycles
+// ages whose consumers finished; the youngest generations are still live when
+// the run ends and would otherwise be discarded to the GC. Releasing them
+// lets the next run grow inside recycled capacity instead of reallocating.
+// Snapshots taken earlier are unaffected — they are copies.
+func (f *Field) Release() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for a, s := range f.ages {
+		delete(f.ages, a)
+		recycleAge(s)
+	}
 }
 
 // Ages returns the set of live (non-collected) ages, unordered.
@@ -362,7 +665,7 @@ func (f *Field) MemoryElems() int {
 	defer f.mu.RUnlock()
 	n := 0
 	for _, s := range f.ages {
-		n += len(s.data)
+		n += s.data.len()
 	}
 	return n
 }
@@ -374,22 +677,44 @@ type SlabDim struct {
 	Index int
 }
 
-// Slab copies a sub-slab of the generation at the given age: fixed
-// dimensions are dropped, free dimensions become the dimensions of the
-// resulting array (in field order). Out-of-range fixed coordinates yield an
-// empty array.
+// Slab copies a sub-slab of the generation at the given age into a fresh
+// array: fixed dimensions are dropped, free dimensions become the dimensions
+// of the resulting array (in field order). Out-of-range fixed coordinates
+// yield an empty array.
 func (f *Field) Slab(age int, sel []SlabDim) *Array {
+	a := &Array{}
+	f.FetchSlice(age, sel, a)
+	return a
+}
+
+// FetchSlice copies a sub-slab of the generation at the given age into dst,
+// reusing dst's backing storage when capacity allows. Fixed dimensions are
+// dropped; free dimensions become dst's dimensions in field order.
+// Out-of-range fixed coordinates yield an empty array. When the fixed
+// dimensions form a prefix (the fetch-one-row case) the data moves with a
+// single typed copy.
+func (f *Field) FetchSlice(age int, sel []SlabDim, dst *Array) {
 	if len(sel) != f.rank {
 		panic(fmt.Sprintf("field %s: slab rank mismatch: %d selectors for rank-%d field", f.name, len(sel), f.rank))
 	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	var freeExt []int
+	var freeExtBuf [4]int
+	freeExt := freeExtBuf[:0]
 	s := f.ages[age]
+	if s != nil {
+		for d, sd := range sel {
+			if sd.Fixed && (sd.Index < 0 || sd.Index >= s.extents[d]) {
+				s = nil // out of range: deliver an empty slab
+				break
+			}
+		}
+	}
+	fixedPrefix := true
 	for d, sd := range sel {
 		if sd.Fixed {
-			if s == nil || sd.Index < 0 || sd.Index >= s.extents[d] {
-				s = nil // out of range: deliver an empty slab
+			if len(freeExt) > 0 {
+				fixedPrefix = false
 			}
 			continue
 		}
@@ -400,11 +725,37 @@ func (f *Field) Slab(age int, sel []SlabDim) *Array {
 		}
 	}
 	if len(freeExt) == 0 {
-		freeExt = []int{0}
+		freeExt = append(freeExt, 0)
 	}
-	out := NewArray(f.kind, freeExt...)
-	if s == nil || out.Len() == 0 {
-		return out
+	dst.resetShape(f.kind, freeExt)
+	n := dst.Len()
+	if s == nil || n == 0 {
+		return
+	}
+	if fixedPrefix {
+		// The selected region is a contiguous suffix block.
+		base := 0
+		for d, sd := range sel {
+			i := 0
+			if sd.Fixed {
+				i = sd.Index
+			}
+			base = base*s.extents[d] + i
+		}
+		dst.data.copyRange(0, &s.data, base, n)
+		return
+	}
+	// General path: walk free dims before the last fixed dim elementwise and
+	// copy the contiguous run spanned by the trailing free dims.
+	lastFixed := -1
+	for d, sd := range sel {
+		if sd.Fixed {
+			lastFixed = d
+		}
+	}
+	runLen := 1
+	for d := lastFixed + 1; d < f.rank; d++ {
+		runLen *= s.extents[d]
 	}
 	idx := make([]int, f.rank)
 	for d, sd := range sel {
@@ -415,9 +766,9 @@ func (f *Field) Slab(age int, sel []SlabDim) *Array {
 	flat := 0
 	var walk func(d int)
 	walk = func(d int) {
-		if d == f.rank {
-			out.SetFlat(s.data[s.flatten(idx)], flat)
-			flat++
+		if d > lastFixed {
+			dst.data.copyRange(flat, &s.data, s.flatten(idx), runLen)
+			flat += runLen
 			return
 		}
 		if sel[d].Fixed {
@@ -429,6 +780,7 @@ func (f *Field) Slab(age int, sel []SlabDim) *Array {
 			walk(d + 1)
 		}
 	}
-	walk(0)
-	return out
+	if runLen > 0 {
+		walk(0)
+	}
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package field
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package field
+
+// raceEnabled reports whether the race detector is active; the allocation
+// budget tests skip pool-hit assertions under it because sync.Pool drops a
+// fraction of Puts on purpose when racing.
+const raceEnabled = true

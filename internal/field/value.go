@@ -114,14 +114,21 @@ func (v Value) Obj() any { return v.obj }
 
 // Convert coerces the value to the target kind. Converting an array value
 // returns it unchanged (arrays carry their own kind). Converting to Any wraps
-// nothing; the value keeps its representation but reports kind Any.
+// nothing; the value keeps its representation but reports kind Any. Integer
+// conversions truncate to the target width, so a converted value has a
+// canonical representation regardless of whether it lives in a boxed Value or
+// a typed slab.
 func (v Value) Convert(k Kind) Value {
 	if v.arr != nil || v.kind == k {
 		return v
 	}
 	switch k {
-	case Int32, Int64, Uint8:
+	case Int32:
+		return Value{kind: k, i: int64(int32(v.Int64()))}
+	case Int64:
 		return Value{kind: k, i: v.Int64()}
+	case Uint8:
+		return Value{kind: k, i: int64(uint8(v.Int64()))}
 	case Float32, Float64:
 		return Value{kind: k, f: v.Float64()}
 	case Bool:

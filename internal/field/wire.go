@@ -2,24 +2,30 @@ package field
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"math"
 )
 
-// wireValue is the gob representation of a Value. Any payloads are carried
-// through gob's interface mechanism; concrete payload types crossing node
-// boundaries must be registered with RegisterPayload.
-type wireValue struct {
-	Kind    Kind
-	IsArr   bool
-	I       int64
-	F       float64
-	S       string
-	HasObj  bool
-	Obj     any
-	Extents []int
-	Elems   []Value
-}
+// Wire format: a compact, length-prefixed binary encoding of Values and
+// Arrays. Scalars encode as (version, kind, flags, payload); arrays add
+// varint extents followed by the typed slab payload — raw bytes for
+// uint8/bool slabs, fixed-width little-endian words for int32/int64/float64
+// slabs — so a whole generation crosses the wire as one typed block instead
+// of a gob-encoded Value per element. String/Any elements fall back to
+// per-element recursion, with Any payloads carried by gob (register concrete
+// types with RegisterPayload).
+
+const wireVersion = 1
+
+const (
+	wireFlagArr = 1 << iota
+	wireFlagObj
+)
+
+// anyBox wraps an interface payload so gob round-trips the concrete type.
+type anyBox struct{ V any }
 
 // RegisterPayload registers a concrete Go type carried inside Any values so
 // it can cross node boundaries; it wraps gob.Register.
@@ -42,44 +48,336 @@ func (a *Array) GobDecode(data []byte) error {
 	return nil
 }
 
-// GobEncode implements gob.GobEncoder for Value.
+// GobEncode implements gob.GobEncoder for Value using the typed-slab binary
+// format (the name is historical: gob is only used for Any payloads).
 func (v Value) GobEncode() ([]byte, error) {
-	w := wireValue{Kind: v.kind, I: v.i, F: v.f, S: v.s}
-	if v.obj != nil {
-		w.HasObj = true
-		w.Obj = v.obj
+	buf := make([]byte, 0, v.wireSizeHint())
+	return v.appendWire(buf)
+}
+
+func (v Value) wireSizeHint() int {
+	if v.arr == nil {
+		return 16 + len(v.s)
 	}
+	n := v.arr.Len()
+	switch v.arr.data.class {
+	case classU8:
+		return 16 + n
+	case classI32:
+		return 16 + 4*n
+	default:
+		return 16 + 8*n
+	}
+}
+
+func (v Value) appendWire(buf []byte) ([]byte, error) {
+	flags := byte(0)
 	if v.arr != nil {
-		w.IsArr = true
-		w.Extents = v.arr.extents
-		w.Elems = v.arr.data
+		flags |= wireFlagArr
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		return nil, fmt.Errorf("field: encoding value: %w", err)
+	if v.obj != nil {
+		flags |= wireFlagObj
 	}
-	return buf.Bytes(), nil
+	buf = append(buf, wireVersion, byte(v.kind), flags)
+	if v.arr != nil {
+		return v.arr.appendWire(buf)
+	}
+	// Scalar payload. Any values keep whatever representation they carried
+	// before conversion, so encode every channel that can be populated.
+	switch {
+	case v.kind == String:
+		buf = appendString(buf, v.s)
+	case v.kind == Any || v.kind == Invalid:
+		buf = binary.AppendVarint(buf, v.i)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.f))
+		buf = appendString(buf, v.s)
+	case v.kind.Float():
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.f))
+	default:
+		buf = binary.AppendVarint(buf, v.i)
+	}
+	if v.obj != nil {
+		var ob bytes.Buffer
+		if err := gob.NewEncoder(&ob).Encode(anyBox{V: v.obj}); err != nil {
+			return nil, fmt.Errorf("field: encoding payload: %w", err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(ob.Len()))
+		buf = append(buf, ob.Bytes()...)
+	}
+	return buf, nil
+}
+
+func (a *Array) appendWire(buf []byte) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(a.extents)))
+	for _, e := range a.extents {
+		buf = binary.AppendUvarint(buf, uint64(e))
+	}
+	switch a.data.class {
+	case classU8:
+		buf = append(buf, a.data.u8...)
+	case classI32:
+		for _, x := range a.data.i32 {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+		}
+	case classI64:
+		for _, x := range a.data.i64 {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+		}
+	case classF64:
+		for _, x := range a.data.f64 {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+	default:
+		for _, v := range a.data.vs {
+			eb, err := v.appendWire(nil)
+			if err != nil {
+				return nil, err
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(eb)))
+			buf = append(buf, eb...)
+		}
+	}
+	return buf, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// wireReader is a cursor over an encoded buffer.
+type wireReader struct {
+	buf []byte
+	off int
+}
+
+var errWireShort = fmt.Errorf("field: truncated wire value")
+
+func (r *wireReader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, errWireShort
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *wireReader) byte() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *wireReader) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, errWireShort
+	}
+	r.off += n
+	return x, nil
+}
+
+func (r *wireReader) varint() (int64, error) {
+	x, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, errWireShort
+	}
+	r.off += n
+	return x, nil
+}
+
+func (r *wireReader) uint64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
 }
 
 // GobDecode implements gob.GobDecoder for Value.
 func (v *Value) GobDecode(data []byte) error {
-	var w wireValue
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
-		return fmt.Errorf("field: decoding value: %w", err)
+	r := &wireReader{buf: data}
+	if err := v.readWire(r); err != nil {
+		return err
 	}
-	*v = Value{kind: w.Kind, i: w.I, f: w.F, s: w.S}
-	if w.HasObj {
-		v.obj = w.Obj
-	}
-	if w.IsArr {
-		n := 1
-		for _, e := range w.Extents {
-			n *= e
-		}
-		if len(w.Elems) != n {
-			return fmt.Errorf("field: decoded array has %d elements for extents %v", len(w.Elems), w.Extents)
-		}
-		v.arr = &Array{kind: w.Kind, extents: w.Extents, data: w.Elems}
+	if r.off != len(data) {
+		return fmt.Errorf("field: %d trailing bytes after wire value", len(data)-r.off)
 	}
 	return nil
+}
+
+func (v *Value) readWire(r *wireReader) error {
+	ver, err := r.byte()
+	if err != nil {
+		return err
+	}
+	if ver != wireVersion {
+		return fmt.Errorf("field: unknown wire version %d", ver)
+	}
+	kb, err := r.byte()
+	if err != nil {
+		return err
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return err
+	}
+	kind := Kind(kb)
+	*v = Value{kind: kind}
+	if flags&wireFlagArr != 0 {
+		arr, err := readWireArray(r, kind)
+		if err != nil {
+			return err
+		}
+		v.arr = arr
+		return nil
+	}
+	switch {
+	case kind == String:
+		if v.s, err = r.string(); err != nil {
+			return err
+		}
+	case kind == Any || kind == Invalid:
+		if v.i, err = r.varint(); err != nil {
+			return err
+		}
+		bits, err := r.uint64()
+		if err != nil {
+			return err
+		}
+		v.f = math.Float64frombits(bits)
+		if v.s, err = r.string(); err != nil {
+			return err
+		}
+	case kind.Float():
+		bits, err := r.uint64()
+		if err != nil {
+			return err
+		}
+		v.f = math.Float64frombits(bits)
+	default:
+		if v.i, err = r.varint(); err != nil {
+			return err
+		}
+	}
+	if flags&wireFlagObj != 0 {
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		ob, err := r.take(int(n))
+		if err != nil {
+			return err
+		}
+		var box anyBox
+		if err := gob.NewDecoder(bytes.NewReader(ob)).Decode(&box); err != nil {
+			return fmt.Errorf("field: decoding payload: %w", err)
+		}
+		v.obj = box.V
+	}
+	return nil
+}
+
+func (r *wireReader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func readWireArray(r *wireReader, kind Kind) (*Array, error) {
+	rank, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if rank == 0 || rank > 64 {
+		return nil, fmt.Errorf("field: decoded array rank %d out of range", rank)
+	}
+	remaining := len(r.buf) - r.off
+	extents := make([]int, rank)
+	zero := false
+	for d := range extents {
+		e, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if e > uint64(remaining) { // every element costs >= 1 byte
+			return nil, errWireShort
+		}
+		extents[d] = int(e)
+		if e == 0 {
+			zero = true
+		}
+	}
+	n := 1
+	if zero {
+		n = 0
+	} else {
+		for _, e := range extents {
+			n *= e
+			if n > remaining {
+				return nil, errWireShort
+			}
+		}
+	}
+	cls := classOf(kind)
+	a := &Array{kind: kind, extents: extents, data: newSlab(kind, n)}
+	switch cls {
+	case classU8:
+		b, err := r.take(n)
+		if err != nil {
+			return nil, err
+		}
+		copy(a.data.u8, b)
+	case classI32:
+		b, err := r.take(4 * n)
+		if err != nil {
+			return nil, err
+		}
+		for i := range a.data.i32 {
+			a.data.i32[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+		}
+	case classI64:
+		b, err := r.take(8 * n)
+		if err != nil {
+			return nil, err
+		}
+		for i := range a.data.i64 {
+			a.data.i64[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+	case classF64:
+		b, err := r.take(8 * n)
+		if err != nil {
+			return nil, err
+		}
+		for i := range a.data.f64 {
+			a.data.f64[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+	default:
+		for i := range a.data.vs {
+			en, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			eb, err := r.take(int(en))
+			if err != nil {
+				return nil, err
+			}
+			er := &wireReader{buf: eb}
+			if err := a.data.vs[i].readWire(er); err != nil {
+				return nil, err
+			}
+			if er.off != len(eb) {
+				return nil, fmt.Errorf("field: trailing bytes in array element")
+			}
+		}
+	}
+	return a, nil
 }

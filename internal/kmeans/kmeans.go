@@ -95,6 +95,54 @@ func Assign(p Point, centroids []Point) int {
 	return best
 }
 
+// AssignFlat is Assign over flat row-major storage: p is one point of `dim`
+// coordinates and centroids holds k*dim values, row per centroid. The
+// arithmetic (accumulation order, comparison) is identical to Assign, so the
+// two produce bit-identical results.
+func AssignFlat(p []float64, centroids []float64, dim int) int {
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c*dim+dim <= len(centroids); c++ {
+		row := centroids[c*dim : c*dim+dim]
+		var s float64
+		for i, cv := range row {
+			d := p[i] - cv
+			s += d * d
+		}
+		if s < bestD {
+			best, bestD = c, s
+		}
+	}
+	return best
+}
+
+// RefineFlat is Refine over flat row-major storage: points holds n*dim values,
+// membership one cluster id per point, prev and out one centroid row of `dim`
+// values each. out receives the new centroid; the arithmetic is identical to
+// Refine, so results match bit for bit.
+func RefineFlat(c int, points []float64, dim int, membership []int32, prev, out []float64) {
+	for d := range out {
+		out[d] = 0
+	}
+	n := 0
+	for i, m := range membership {
+		if int(m) != c {
+			continue
+		}
+		row := points[i*dim : i*dim+dim]
+		for d := 0; d < dim; d++ {
+			out[d] += row[d]
+		}
+		n++
+	}
+	if n == 0 {
+		copy(out, prev)
+		return
+	}
+	for d := range out {
+		out[d] /= float64(n)
+	}
+}
+
 // Refine returns the new centroid for cluster c: the mean of the member
 // points, or the previous centroid if the cluster is empty — the body of the
 // paper's per-cluster refine kernel.

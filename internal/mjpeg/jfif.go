@@ -46,6 +46,31 @@ var components = [3]componentSpec{
 // non-interleaved scans, one per component — the natural layout for the
 // paper's per-component result fields.
 func EncodeFrameJPEG(coeffs *[3][]Block, w, h int, qLuma, qChroma *QuantTable) []byte {
+	var n [3]int
+	for ci := range coeffs {
+		n[ci] = len(coeffs[ci])
+	}
+	return encodeFrame(w, h, qLuma, qChroma, n, func(ci, i int) *Block { return &coeffs[ci][i] })
+}
+
+// EncodeFrameJPEGFlat is EncodeFrameJPEG over flat coefficient storage: each
+// component holds 64 int32 per macroblock in row-major block order. Blocks
+// are viewed in place (no []Block materialization), which is the layout the
+// P2G workload's typed result fields use. Output is bit-identical to
+// EncodeFrameJPEG on the same coefficients.
+func EncodeFrameJPEGFlat(coeffs *[3][]int32, w, h int, qLuma, qChroma *QuantTable) []byte {
+	var n [3]int
+	for ci := range coeffs {
+		n[ci] = len(coeffs[ci]) / 64
+	}
+	return encodeFrame(w, h, qLuma, qChroma, n, func(ci, i int) *Block {
+		return (*Block)(coeffs[ci][i*64 : i*64+64])
+	})
+}
+
+// encodeFrame assembles the JFIF image from per-component block accessors,
+// shared by the boxed and flat entry points.
+func encodeFrame(w, h int, qLuma, qChroma *QuantTable, nblocks [3]int, block func(ci, i int) *Block) []byte {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xff, mSOI})
 
@@ -90,8 +115,8 @@ func EncodeFrameJPEG(coeffs *[3][]Block, w, h int, qLuma, qChroma *QuantTable) [
 		dc, ac := encoders[c.dctab][0], encoders[c.actab][1]
 		bw := &BitWriter{}
 		pred := int32(0)
-		for i := range coeffs[ci] {
-			pred = EncodeBlock(bw, &coeffs[ci][i], pred, dc, ac)
+		for i := 0; i < nblocks[ci]; i++ {
+			pred = EncodeBlock(bw, block(ci, i), pred, dc, ac)
 		}
 		buf.Write(bw.Flush())
 	}

@@ -136,6 +136,37 @@ func ExtractBlocks(plane []byte, w, h int) []Block {
 	return blocks
 }
 
+// NumBlocks returns the number of 8x8 macroblocks covering a w x h plane.
+func NumBlocks(w, h int) int { return ((w + 7) / 8) * ((h + 7) / 8) }
+
+// ExtractBlocksU8 is ExtractBlocks writing into caller-provided flat storage:
+// dst receives NumBlocks(w,h) rows of 64 bytes, one macroblock per row in
+// row-major block order, with the same edge-padding rule. Sample values are
+// identical to ExtractBlocks (pixels are bytes; the level shift happens in
+// the DCT), so the two feed the transform identical inputs.
+func ExtractBlocksU8(plane []byte, w, h int, dst []uint8) {
+	bw, bh := (w+7)/8, (h+7)/8
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			b := dst[(by*bw+bx)*64 : (by*bw+bx)*64+64]
+			for y := 0; y < 8; y++ {
+				sy := by*8 + y
+				if sy >= h {
+					sy = h - 1
+				}
+				row := plane[sy*w : sy*w+w]
+				for x := 0; x < 8; x++ {
+					sx := bx*8 + x
+					if sx >= w {
+						sx = w - 1
+					}
+					b[y*8+x] = row[sx]
+				}
+			}
+		}
+	}
+}
+
 // AssemblePlane is the inverse of ExtractBlocks: it writes spatial blocks
 // back into a w x h plane, discarding padding.
 func AssemblePlane(blocks []Block, w, h int) []byte {

@@ -307,7 +307,7 @@ func (an *analyzer) ensureTracker(ks *kernelState, age int) (*ageTracker, bool) 
 	bindDone := 0
 	for i, b := range ks.binds {
 		ga := b.age.Eval(age)
-		t.extents[i] = b.fs.f.Extents(ga)[b.dim]
+		t.extents[i] = b.fs.f.Extent(ga, b.dim)
 		if an.fieldAge(b.fs, ga).complete {
 			bindDone++
 		}
@@ -718,7 +718,7 @@ func (an *analyzer) onFieldComplete(fs *fieldState, g int) {
 			}
 			// Sync the final extent (stores processed earlier already
 			// grew the domain; this is a no-op safeguard).
-			an.growTracker(t, reVar, fs.f.Extents(g)[re.dim])
+			an.growTracker(t, reVar, fs.f.Extent(g, re.dim))
 			t.bindsDone++
 			if t.bindsDone == len(t.ks.binds) {
 				t.domainFinal = true

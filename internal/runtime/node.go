@@ -94,8 +94,11 @@ type StoreNotice struct {
 	// Whole set for a whole-field store.
 	Elem  []int
 	Whole bool
-	// Value carries the element value, or the whole array (as an array
-	// value) for whole-field stores.
+	// Sel is the slab selector for a slab store (fixed dimensions pinned,
+	// free dimensions covered by the array payload); nil otherwise.
+	Sel []field.SlabDim
+	// Value carries the element value, or the whole/slab array (as an array
+	// value) for whole-field and slab stores.
 	Value field.Value
 }
 
@@ -329,7 +332,20 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 		for i := range kd.Stores {
 			ss := &kd.Stores[i]
 			sp := storePlan{ss: ss, fs: n.fields[ss.Field]}
-			if !ss.Whole() {
+			switch {
+			case ss.Whole():
+			case ss.Slab():
+				sp.slab = make([]slabTerm, len(ss.Index))
+				for d, spec := range ss.Index {
+					if spec.Kind == core.IndexAllKind {
+						continue // zero value spans the whole dimension
+					}
+					sp.slab[d] = slabTerm{fixed: true, term: compileSpec(spec, kd.IndexVars)}
+				}
+				if len(sp.slab) > maxSel {
+					maxSel = len(sp.slab)
+				}
+			default:
 				sp.terms = compileIndex(ss.Index, kd.IndexVars)
 				if len(sp.terms) > maxIdx {
 					maxIdx = len(sp.terms)
@@ -373,13 +389,18 @@ func (n *Node) Run() (*Report, error) {
 	return n.report, n.runErr
 }
 
-// Run builds a node and executes the program in one call.
+// Run builds a node and executes the program in one call. The node is not
+// exposed, so no field state outlives the call: remaining generations are
+// released to the slab pools before returning, and back-to-back runs reuse
+// each other's storage.
 func Run(p *core.Program, opts Options) (*Report, error) {
 	n, err := NewNode(p, opts)
 	if err != nil {
 		return nil, err
 	}
-	return n.Run()
+	rep, runErr := n.Run()
+	n.Release()
+	return rep, runErr
 }
 
 // closeEventsWhenWorkersExit arranges for the event channel to close once all
@@ -422,20 +443,28 @@ func (n *Node) InjectStore(sn StoreNotice) error {
 	}
 	var res field.StoreResult
 	var err error
-	if sn.Whole {
+	switch {
+	case sn.Whole:
 		arr := sn.Value.Array()
 		if arr == nil {
 			return fmt.Errorf("p2g: remote whole-field store to %q without array payload", sn.Field)
 		}
 		res, err = fs.f.StoreAll(sn.Age, arr)
-	} else {
+	case sn.Sel != nil:
+		arr := sn.Value.Array()
+		if arr == nil {
+			return fmt.Errorf("p2g: remote slab store to %q without array payload", sn.Field)
+		}
+		res, err = fs.f.StoreSlice(sn.Age, sn.Sel, arr)
+	default:
 		res, err = fs.f.Store(sn.Age, sn.Value, sn.Elem...)
 	}
 	if err != nil {
 		return err
 	}
-	ev := event{fs: fs, age: sn.Age, whole: sn.Whole, grew: res.Grew, extents: res.Extents}
-	if !sn.Whole {
+	whole := sn.Whole || sn.Sel != nil
+	ev := event{fs: fs, age: sn.Age, whole: whole, grew: res.Grew, extents: res.Extents}
+	if !whole {
 		ev.setElem(sn.Elem)
 	}
 	n.inject(ev)
@@ -502,6 +531,17 @@ func (n *Node) Snapshot(fieldName string, age int) (*field.Array, error) {
 		return nil, fmt.Errorf("p2g: unknown field %q", fieldName)
 	}
 	return fs.f.Snapshot(age), nil
+}
+
+// Release returns every field generation still live at end of run to the
+// slab pools. Mid-run garbage collection only recycles ages whose consumers
+// all finished; the youngest generations survive to the end and would
+// otherwise be lost to the GC. Call it once final state has been read —
+// snapshots are copies and stay valid — after which the node must not run.
+func (n *Node) Release() {
+	for _, fs := range n.fields {
+		fs.f.Release()
+	}
 }
 
 // FieldMemoryElems reports the total allocated field elements across live
@@ -590,7 +630,9 @@ func (n *Node) exec(t *ageTracker, is *instState, w *workerState) {
 		g := fe.Age.Eval(t.age)
 		switch {
 		case fp.whole:
-			ctx.BindFetched(fe.Local, field.ArrayVal(fp.fs.f.Snapshot(g)))
+			dst := ctx.FetchDest(fe.Local)
+			fp.fs.f.SnapshotInto(g, dst)
+			ctx.BindFetched(fe.Local, field.ArrayVal(dst))
 		case fp.slab != nil:
 			sel := fr.sel[:len(fp.slab)]
 			for d, st := range fp.slab {
@@ -600,7 +642,9 @@ func (n *Node) exec(t *ageTracker, is *instState, w *workerState) {
 					sel[d] = field.SlabDim{}
 				}
 			}
-			ctx.BindFetched(fe.Local, field.ArrayVal(fp.fs.f.Slab(g, sel)))
+			dst := ctx.FetchDest(fe.Local)
+			fp.fs.f.FetchSlice(g, sel, dst)
+			ctx.BindFetched(fe.Local, field.ArrayVal(dst))
 		default:
 			idx := evalTerms(fr.idx[:len(fp.terms)], fp.terms, is.coords)
 			v, ok := fp.fs.f.At(g, idx...)
@@ -632,10 +676,26 @@ func (n *Node) exec(t *ageTracker, is *instState, w *workerState) {
 			ev := event{fs: sp.fs, age: g}
 			var res field.StoreResult
 			var serr error
-			if sp.terms == nil {
+			var sel []field.SlabDim
+			switch {
+			case sp.slab != nil:
+				sel = fr.sel[:len(sp.slab)]
+				for d, st := range sp.slab {
+					if st.fixed {
+						sel[d] = field.SlabDim{Fixed: true, Index: st.term.eval(is.coords)}
+					} else {
+						sel[d] = field.SlabDim{}
+					}
+				}
+				res, serr = sp.fs.f.StoreSlice(g, sel, ctx.Get(ss.Local).Array())
+				// A slab store covers a whole sub-region at once; the
+				// analyzer handles it like a whole store (scanSatisfy
+				// re-checks element fetches against field contents).
+				ev.whole = true
+			case sp.terms == nil:
 				res, serr = sp.fs.f.StoreAll(g, ctx.Get(ss.Local).Array())
 				ev.whole = true
-			} else {
+			default:
 				idx := evalTerms(fr.idx[:len(sp.terms)], sp.terms, is.coords)
 				res, serr = sp.fs.f.Store(g, ctx.Get(ss.Local), idx...)
 				ev.setElem(idx)
@@ -648,12 +708,17 @@ func (n *Node) exec(t *ageTracker, is *instState, w *workerState) {
 			if n.opts.OnStore != nil {
 				val := ctx.Get(ss.Local)
 				var elem []int
-				if sp.terms == nil {
+				var selCopy []field.SlabDim
+				switch {
+				case sp.slab != nil:
 					val = field.ArrayVal(val.Array().Clone())
-				} else {
+					selCopy = append([]field.SlabDim(nil), sel...)
+				case sp.terms == nil:
+					val = field.ArrayVal(val.Array().Clone())
+				default:
 					elem = append([]int(nil), fr.idx[:len(sp.terms)]...)
 				}
-				n.opts.OnStore(StoreNotice{Field: ss.Field, Age: g, Elem: elem, Whole: sp.terms == nil, Value: val})
+				n.opts.OnStore(StoreNotice{Field: ss.Field, Age: g, Elem: elem, Whole: sp.terms == nil && sp.slab == nil, Sel: selCopy, Value: val})
 			}
 			ev.grew = res.Grew
 			ev.extents = res.Extents

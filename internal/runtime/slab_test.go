@@ -79,17 +79,86 @@ func TestSlabFetch(t *testing.T) {
 	}
 }
 
-func TestSlabInStoreRejected(t *testing.T) {
+// TestSlabStore exercises the bulk store path: one kernel instance per row
+// fetches its row as a slab and stores a transformed row as a slab, so both
+// directions move whole rows through the typed slab representation.
+func TestSlabStore(t *testing.T) {
+	const rows, px = 5, 8
+	b := core.NewBuilder("slabstore")
+	b.Field("in", field.Int32, 2, true)
+	b.Field("out", field.Int32, 2, true)
+
+	b.Kernel("src").Age("a").
+		Local("frame", field.Int32, 2).
+		StoreAll("in", core.AgeVar(0), "frame").
+		Body(func(c *core.Ctx) error {
+			if c.Age() >= 2 {
+				return nil
+			}
+			fr := c.Array("frame")
+			for r := 0; r < rows; r++ {
+				for p := 0; p < px; p++ {
+					fr.Put(field.Int32Val(int32(c.Age()*1000+r*10+p)), r, p)
+				}
+			}
+			return nil
+		})
+
+	b.Kernel("double").Age("a").Index("r").
+		Local("row", field.Int32, 1).
+		Local("res", field.Int32, 1).
+		Fetch("row", "in", core.AgeVar(0), core.Idx("r"), core.All()).
+		Store("out", core.AgeVar(0), []core.IndexSpec{core.Idx("r"), core.All()}, "res").
+		Body(func(c *core.Ctx) error {
+			row := c.Array("row").Int32s()
+			res := c.Array("res")
+			res.Grow(len(row))
+			out := res.Int32s()
+			for i, v := range row {
+				out[i] = 2 * v
+			}
+			return nil
+		})
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(p, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Kernel("double").Instances; got != 2*rows {
+		t.Errorf("double instances = %d, want %d (one per row per age)", got, 2*rows)
+	}
+	for a := 0; a < 2; a++ {
+		s, _ := n.Snapshot("out", a)
+		for r := 0; r < rows; r++ {
+			for p := 0; p < px; p++ {
+				want := 2 * int32(a*1000+r*10+p)
+				if got := s.At(r, p).Int32(); got != want {
+					t.Errorf("out(%d)[%d][%d] = %d, want %d", a, r, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSlabStoreRankMismatchRejected(t *testing.T) {
 	b := core.NewBuilder("bad")
 	b.Field("f", field.Int32, 2, true)
 	b.Kernel("k").Age("a").Index("x").
 		Local("v", field.Int32, 0).
-		Local("row", field.Int32, 1).
+		Local("row", field.Int32, 2). // rank-2 local for a rank-1 slab store
 		Fetch("v", "f", core.AgeVar(0), core.Idx("x"), core.Lit(0)).
 		Store("f", core.AgeVar(1), []core.IndexSpec{core.Idx("x"), core.All()}, "row").
 		Body(nil)
 	if _, err := b.Build(); err == nil {
-		t.Fatal("slab store should be rejected")
+		t.Fatal("slab store rank mismatch should be rejected")
 	}
 }
 

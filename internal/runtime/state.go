@@ -134,7 +134,8 @@ type fetchPlan struct {
 type storePlan struct {
 	ss    *core.StoreStmt
 	fs    *fieldState
-	terms []idxTerm // nil for whole-field stores
+	terms []idxTerm  // element stores
+	slab  []slabTerm // slab stores (nil otherwise); terms nil too
 }
 
 // kernelState is the per-kernel runtime state: the static plan derived from

@@ -46,84 +46,81 @@ func (c KMeansConfig) withDefaults() KMeansConfig {
 // per cluster per iteration; print runs once per iteration plus once for the
 // final centroids. Iterations are bounded by the runtime options from
 // KMeansOptions — the scheduler-level break-point the paper describes.
+//
+// Datapoints and centroids are rank-2 float64 fields ([point][coordinate]):
+// assign slab-fetches its point row, refine slab-stores its new centroid row,
+// and the kernel bodies run over the flat typed backing — the memory path
+// never boxes a coordinate.
 func KMeans(cfg KMeansConfig) *core.Program {
 	cfg = cfg.withDefaults()
 	b := core.NewBuilder("kmeans")
-	b.Field("datapoints", field.Any, 1, true)
-	b.Field("centroids", field.Any, 1, true)
+	b.Field("datapoints", field.Float64, 2, true)
+	b.Field("centroids", field.Float64, 2, true)
 	b.Field("membership", field.Int32, 1, true)
 
 	b.Kernel("init").
-		Local("pts", field.Any, 1).
-		Local("cents", field.Any, 1).
+		Local("pts", field.Float64, 2).
+		Local("cents", field.Float64, 2).
 		StoreAll("datapoints", core.AgeAt(0), "pts").
 		StoreAll("centroids", core.AgeAt(0), "cents").
 		Body(func(c *core.Ctx) error {
 			points := kmeans.Generate(cfg.N, cfg.Dim, cfg.K, cfg.Seed)
 			pa := c.Array("pts")
+			pa.Grow(cfg.N, cfg.Dim)
+			flat := pa.Float64s()
 			for i, p := range points {
-				pa.Put(field.AnyVal(p), i)
+				copy(flat[i*cfg.Dim:(i+1)*cfg.Dim], p)
 			}
 			ca := c.Array("cents")
+			ca.Grow(cfg.K, cfg.Dim)
+			cf := ca.Float64s()
 			for i, p := range kmeans.InitialCentroids(points, cfg.K) {
-				ca.Put(field.AnyVal(p), i)
+				copy(cf[i*cfg.Dim:(i+1)*cfg.Dim], p)
 			}
 			return nil
 		})
 
 	b.Kernel("assign").Age("a").Index("x").
-		Local("p", field.Any, 0).
-		Local("cents", field.Any, 1).
+		Local("p", field.Float64, 1).
+		Local("cents", field.Float64, 2).
 		Local("m", field.Int32, 0).
-		Fetch("p", "datapoints", core.AgeAt(0), core.Idx("x")).
+		Fetch("p", "datapoints", core.AgeAt(0), core.Idx("x"), core.All()).
 		FetchAll("cents", "centroids", core.AgeVar(0)).
 		Store("membership", core.AgeVar(0), []core.IndexSpec{core.Idx("x")}, "m").
 		Body(func(c *core.Ctx) error {
-			p := c.Obj("p").(kmeans.Point)
 			ca := c.Array("cents")
-			cents := make([]kmeans.Point, ca.Extent(0))
-			for i := range cents {
-				cents[i] = ca.At(i).Obj().(kmeans.Point)
-			}
-			c.SetInt32("m", int32(kmeans.Assign(p, cents)))
+			m := kmeans.AssignFlat(c.Array("p").Float64s(), ca.Float64s(), ca.Extent(1))
+			c.SetInt32("m", int32(m))
 			return nil
 		})
 
 	b.Kernel("refine").Age("a").Index("c").
-		Local("cent", field.Any, 0).
+		Local("cent", field.Float64, 1).
 		Local("ms", field.Int32, 1).
-		Local("pts", field.Any, 1).
-		Local("next", field.Any, 0).
-		Fetch("cent", "centroids", core.AgeVar(0), core.Idx("c")).
+		Local("pts", field.Float64, 2).
+		Local("next", field.Float64, 1).
+		Fetch("cent", "centroids", core.AgeVar(0), core.Idx("c"), core.All()).
 		FetchAll("ms", "membership", core.AgeVar(0)).
 		FetchAll("pts", "datapoints", core.AgeAt(0)).
-		Store("centroids", core.AgeVar(1), []core.IndexSpec{core.Idx("c")}, "next").
+		Store("centroids", core.AgeVar(1), []core.IndexSpec{core.Idx("c"), core.All()}, "next").
 		Body(func(c *core.Ctx) error {
-			prev := c.Obj("cent").(kmeans.Point)
-			ma := c.Array("ms")
 			pa := c.Array("pts")
-			n := pa.Extent(0)
-			points := make([]kmeans.Point, n)
-			membership := make([]int, n)
-			for i := 0; i < n; i++ {
-				points[i] = pa.At(i).Obj().(kmeans.Point)
-				membership[i] = int(ma.At(i).Int32())
-			}
-			c.SetObj("next", kmeans.Refine(c.Index("c"), points, membership, prev))
+			dim := pa.Extent(1)
+			next := c.Array("next")
+			next.Grow(dim)
+			kmeans.RefineFlat(c.Index("c"), pa.Float64s(), dim,
+				c.Array("ms").Int32s(), c.Array("cent").Float64s(), next.Float64s())
 			return nil
 		})
 
 	b.Kernel("print").Age("a").
-		Local("cents", field.Any, 1).
+		Local("cents", field.Float64, 2).
 		FetchAll("cents", "centroids", core.AgeVar(0)).
 		Body(func(c *core.Ctx) error {
 			ca := c.Array("cents")
 			var sum float64
-			for i := 0; i < ca.Extent(0); i++ {
-				p := ca.At(i).Obj().(kmeans.Point)
-				for _, v := range p {
-					sum += v
-				}
+			for _, v := range ca.Float64s() {
+				sum += v
 			}
 			c.Printf("iteration %d: %d centroids, coordinate sum %.4f\n", c.Age(), ca.Extent(0), sum)
 			return nil
@@ -152,6 +149,18 @@ func KMeansOptions(cfg KMeansConfig, workers int) runtime.Options {
 	}
 }
 
+// CentroidPoints converts a rank-2 centroids snapshot ([cluster][coordinate]
+// float64) into per-cluster points (copied out of the snapshot).
+func CentroidPoints(s *field.Array) []kmeans.Point {
+	k, dim := s.Extent(0), s.Extent(1)
+	flat := s.Float64s()
+	out := make([]kmeans.Point, k)
+	for c := range out {
+		out[c] = append(kmeans.Point(nil), flat[c*dim:(c+1)*dim]...)
+	}
+	return out
+}
+
 // KMeansCentroids extracts the centroids at the given age from a finished
 // node.
 func KMeansCentroids(n *runtime.Node, age int) ([]kmeans.Point, error) {
@@ -159,9 +168,5 @@ func KMeansCentroids(n *runtime.Node, age int) ([]kmeans.Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]kmeans.Point, s.Extent(0))
-	for i := range out {
-		out[i] = s.At(i).Obj().(kmeans.Point)
-	}
-	return out, nil
+	return CentroidPoints(s), nil
 }

@@ -26,6 +26,9 @@ type MJPEGConfig struct {
 	Out io.Writer
 }
 
+// blockLen is the flat row length of one macroblock (8x8 samples).
+const blockLen = mjpeg.BlockSize * mjpeg.BlockSize
+
 // MJPEG builds the figure 8 program:
 //
 //	read/splityuv ──▶ yInput ──▶ yDCT ──▶ yResult ─┐
@@ -37,6 +40,12 @@ type MJPEGConfig struct {
 // itself through an aging token field so frames hit the output stream in
 // order, and writes one extra, empty instance at end of stream — the paper's
 // 51st VLC instance for 50 frames.
+//
+// The pixel and coefficient fields are rank-2 typed slabs ([block][64]):
+// inputs are uint8 samples, results int32 coefficients. Each DCT instance
+// slab-fetches its 64-byte row and slab-stores its coefficient row, and
+// vlc/write encodes straight out of the flat int32 backing — no per-block
+// boxing anywhere on the frame path.
 func MJPEG(cfg MJPEGConfig) *core.Program {
 	if cfg.Source == nil {
 		panic("workloads: MJPEG requires a video source")
@@ -45,9 +54,13 @@ func MJPEG(cfg MJPEGConfig) *core.Program {
 	qLuma, qChroma := enc.Tables()
 
 	b := core.NewBuilder("mjpeg")
-	for _, f := range []string{"yInput", "uInput", "vInput", "yResult", "uResult", "vResult", "bitstream"} {
-		b.Field(f, field.Any, 1, true)
+	for _, f := range []string{"yInput", "uInput", "vInput"} {
+		b.Field(f, field.Uint8, 2, true)
 	}
+	for _, f := range []string{"yResult", "uResult", "vResult"} {
+		b.Field(f, field.Int32, 2, true)
+	}
+	b.Field("bitstream", field.Any, 1, true)
 	b.Field("dims", field.Int32, 1, true) // frame [width, height], per age
 	b.Field("token", field.Int32, 1, true)
 
@@ -63,9 +76,9 @@ func MJPEG(cfg MJPEGConfig) *core.Program {
 	// dims field — ordinary dataflow, so the kernels may run on different
 	// nodes of a distributed deployment.
 	b.Kernel("read_splityuv").Age("a").
-		Local("y", field.Any, 1).
-		Local("u", field.Any, 1).
-		Local("v", field.Any, 1).
+		Local("y", field.Uint8, 2).
+		Local("u", field.Uint8, 2).
+		Local("v", field.Uint8, 2).
 		Local("d", field.Int32, 1).
 		StoreAll("yInput", core.AgeVar(0), "y").
 		StoreAll("uInput", core.AgeVar(0), "u").
@@ -83,27 +96,37 @@ func MJPEG(cfg MJPEGConfig) *core.Program {
 			d := c.Array("d")
 			d.Put(field.Int32Val(int32(f.W)), 0)
 			d.Put(field.Int32Val(int32(f.H)), 1)
-			comps := mjpeg.SplitYUV(f)
-			for ci, name := range []string{"y", "u", "v"} {
-				arr := c.Array(name)
-				for i := range comps[ci] {
-					arr.Put(field.AnyVal(&comps[ci][i]), i)
-				}
+			for _, pl := range [3]struct {
+				name string
+				data []byte
+				w, h int
+			}{
+				{"y", f.Y, f.W, f.H},
+				{"u", f.U, f.W / 2, f.H / 2},
+				{"v", f.V, f.W / 2, f.H / 2},
+			} {
+				arr := c.Array(pl.name)
+				arr.Grow(mjpeg.NumBlocks(pl.w, pl.h), blockLen)
+				mjpeg.ExtractBlocksU8(pl.data, pl.w, pl.h, arr.Uint8s())
 			}
 			return nil
 		})
 
 	dct := func(kernel, in, out string, qt *mjpeg.QuantTable) {
 		b.Kernel(kernel).Age("a").Index("x").
-			Local("blk", field.Any, 0).
-			Local("res", field.Any, 0).
-			Fetch("blk", in, core.AgeVar(0), core.Idx("x")).
-			Store(out, core.AgeVar(0), []core.IndexSpec{core.Idx("x")}, "res").
+			Local("blk", field.Uint8, 1).
+			Local("res", field.Int32, 1).
+			Fetch("blk", in, core.AgeVar(0), core.Idx("x"), core.All()).
+			Store(out, core.AgeVar(0), []core.IndexSpec{core.Idx("x"), core.All()}, "res").
 			Body(func(c *core.Ctx) error {
-				src := c.Obj("blk").(*mjpeg.Block)
-				dst := new(mjpeg.Block)
-				mjpeg.DCTQuantBlock(src, qt, cfg.FastDCT, dst)
-				c.SetObj("res", dst)
+				px := c.Array("blk").Uint8s()
+				var blk mjpeg.Block
+				for i, v := range px {
+					blk[i] = int32(v)
+				}
+				res := c.Array("res")
+				res.Grow(blockLen)
+				mjpeg.DCTQuantBlock(&blk, qt, cfg.FastDCT, (*mjpeg.Block)(res.Int32s()))
 				return nil
 			})
 	}
@@ -112,9 +135,9 @@ func MJPEG(cfg MJPEGConfig) *core.Program {
 	dct("vDCT", "vInput", "vResult", qChroma)
 
 	b.Kernel("vlc_write").Age("a").
-		Local("y", field.Any, 1).
-		Local("u", field.Any, 1).
-		Local("v", field.Any, 1).
+		Local("y", field.Int32, 2).
+		Local("u", field.Int32, 2).
+		Local("v", field.Int32, 2).
 		Local("tok", field.Int32, 0).
 		Local("tokOut", field.Int32, 0).
 		Local("jpeg", field.Any, 0).
@@ -134,17 +157,9 @@ func MJPEG(cfg MJPEGConfig) *core.Program {
 				// which ends the token chain cleanly.
 				return nil
 			}
-			var coeffs [3][]mjpeg.Block
-			for ci, name := range []string{"y", "u", "v"} {
-				arr := c.Array(name)
-				blocks := make([]mjpeg.Block, arr.Extent(0))
-				for i := range blocks {
-					blocks[i] = *arr.At(i).Obj().(*mjpeg.Block)
-				}
-				coeffs[ci] = blocks
-			}
+			coeffs := [3][]int32{ya.Int32s(), c.Array("u").Int32s(), c.Array("v").Int32s()}
 			d := c.Array("d")
-			data := mjpeg.EncodeFrameJPEG(&coeffs, int(d.At(0).Int32()), int(d.At(1).Int32()), qLuma, qChroma)
+			data := mjpeg.EncodeFrameJPEGFlat(&coeffs, int(d.At(0).Int32()), int(d.At(1).Int32()), qLuma, qChroma)
 			if cfg.Out != nil {
 				if _, err := cfg.Out.Write(data); err != nil {
 					return fmt.Errorf("writing frame %d: %w", c.Age(), err)
