@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-mem bench-full bench-json clean
+.PHONY: all build test race vet fmt-check ci bench bench-mem bench-transport bench-full bench-json clean
 
 all: build
 
@@ -36,6 +36,12 @@ bench:
 # store/fetch path.
 bench-mem:
 	$(GO) test -bench 'FieldStoreSlab|WireEncodeFrame' -benchmem -benchtime=100x -count=1 -run xxx .
+
+# bench-transport is the distributed-transport smoke gate (also run by
+# ci.sh): one framed and one gob-per-store distributed MJPEG encode over TCP
+# loopback, enough to catch protocol or framing breaks on the store path.
+bench-transport:
+	$(GO) test -bench 'TransportMJPEG' -benchtime=1x -count=1 -run xxx .
 
 # bench-full is the measurement run over the whole benchmark suite.
 bench-full:

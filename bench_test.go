@@ -16,6 +16,8 @@ package p2g
 //	BenchmarkDCT           — naive vs AAN fast DCT (ref [2])
 //	BenchmarkFieldStoreSlab — bulk row store through the typed slab memory path
 //	BenchmarkWireEncodeFrame — typed-slab wire encoding of one frame component
+//	BenchmarkTransportMJPEG — distributed MJPEG encode over TCP loopback,
+//	                          framed typed transport vs gob-per-store baseline
 
 import (
 	"fmt"
@@ -23,6 +25,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/field"
 	"repro/internal/graph"
 	"repro/internal/kmeans"
@@ -299,6 +302,94 @@ func BenchmarkWireEncodeFrame(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.SetBytes(int64(len(buf)))
+	}
+}
+
+// runTransportMJPEG executes one distributed MJPEG encode across two TCP
+// loopback workers and returns the total bytes that crossed the master's
+// sockets (both directions, gob envelope included).
+func runTransportMJPEG(frames int, disableFrames bool) (int64, error) {
+	mkProg := func() *core.Program {
+		return workloads.MJPEG(workloads.MJPEGConfig{
+			Source:  video.NewSynthetic(128, 128, frames, 4),
+			Quality: 70,
+			FastDCT: true,
+		})
+	}
+	l, err := dist.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	const n = 2
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			conn, err := dist.DialTCP(l.Addr())
+			if err != nil {
+				errc <- err
+				return
+			}
+			_, err = dist.RunWorker(dist.WorkerConfig{
+				NodeID:        fmt.Sprintf("w%d", i),
+				Cores:         2,
+				Prog:          mkProg(),
+				DisableFrames: disableFrames,
+			}, conn)
+			errc <- err
+		}(i)
+	}
+	conns := make([]dist.Conn, n)
+	for i := range conns {
+		c, err := l.Accept()
+		if err != nil {
+			return 0, err
+		}
+		conns[i] = c
+	}
+	if _, err := dist.RunMaster(dist.MasterConfig{Prog: mkProg(), Method: sched.KL}, conns); err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		if e := <-errc; e != nil {
+			return 0, e
+		}
+	}
+	var total int64
+	for _, c := range conns {
+		if sr, ok := c.(dist.StatsReporter); ok {
+			st := sr.Stats()
+			total += st.SentBytes + st.RecvBytes
+		}
+	}
+	return total, nil
+}
+
+// BenchmarkTransportMJPEG measures a whole distributed MJPEG encode over TCP
+// loopback with two execution nodes: the batched typed-frame transport
+// against the gob-per-store baseline (WorkerConfig.DisableFrames). ns/op is
+// the end-to-end encode latency; wire-B/op is the measured socket traffic.
+func BenchmarkTransportMJPEG(b *testing.B) {
+	workloads.RegisterPayloads()
+	const frames = 4
+	for _, c := range []struct {
+		name    string
+		disable bool
+	}{
+		{"frames", false},
+		{"gob-per-store", true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var wireBytes int64
+			for i := 0; i < b.N; i++ {
+				n, err := runTransportMJPEG(frames, c.disable)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wireBytes += n
+			}
+			b.ReportMetric(float64(wireBytes)/float64(b.N), "wire-B/op")
+		})
 	}
 }
 

@@ -20,3 +20,6 @@ go test -bench 'Fig9|Fig10|Dispatch' -benchtime=1x -count=1 .
 # Memory-path smoke gate (`make bench-mem`): the typed slab store and
 # wire-encode benchmarks with allocation reporting.
 go test -bench 'FieldStoreSlab|WireEncodeFrame' -benchmem -benchtime=100x -count=1 -run xxx .
+# Distributed-transport smoke gate (`make bench-transport`): one framed and
+# one gob-per-store distributed MJPEG encode over TCP loopback.
+go test -bench 'TransportMJPEG' -benchtime=1x -count=1 -run xxx .

@@ -97,6 +97,25 @@ func main() {
 	for _, id := range ids {
 		fmt.Printf("-- %s --\n%s", id, res.Reports[id].Table())
 	}
+
+	// Transport summary: wire traffic per worker link plus the frame
+	// counters the broker accumulated while forwarding batched stores.
+	var totalIn, totalOut int64
+	for i, c := range conns {
+		sr, ok := c.(dist.StatsReporter)
+		if !ok {
+			continue
+		}
+		st := sr.Stats()
+		totalIn += st.RecvBytes
+		totalOut += st.SentBytes
+		fmt.Printf("link %d: sent %d msgs / %d bytes, received %d msgs / %d bytes\n",
+			i, st.SentMsgs, st.SentBytes, st.RecvMsgs, st.RecvBytes)
+	}
+	fmt.Printf("transport: %d bytes in, %d bytes out; %d store frames (%d frame bytes)\n",
+		totalIn, totalOut,
+		reg.Counter(obs.MDistFramesTotal).Load(),
+		reg.Counter(obs.MDistFrameBytesTotal).Load())
 }
 
 func fail(err error) {

@@ -25,6 +25,7 @@ func main() {
 	speed := flag.Float64("speed", 1, "relative speed factor reported to the master")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of this node's kernel instances")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metricz, /statusz and /tracez on this address, e.g. :9091")
+	gobStores := flag.Bool("gob-stores", false, "send one gob-encoded store message per notice instead of batched typed frames (A/B baseline)")
 	flag.Parse()
 
 	workloads.RegisterPayloads()
@@ -60,6 +61,7 @@ func main() {
 		Factory:       workloads.FromSpec,
 		BoundsFactory: workloads.SpecBounds,
 		Output:        os.Stdout,
+		DisableFrames: *gobStores,
 		Metrics:       reg,
 		Tracer:        tracer,
 	}, conn)

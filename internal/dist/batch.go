@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/runtime"
+)
+
+// Flush thresholds for the store batcher: a generation's frame is emitted
+// early once it holds this many bytes or entries, bounding both message size
+// and the master's replay cost per frame. Generations smaller than the
+// thresholds ride until the kernel age completes (or the next ping).
+const (
+	frameFlushBytes   = 64 << 10
+	frameFlushEntries = 512
+)
+
+// genKey identifies one field generation.
+type genKey struct {
+	field string
+	age   int
+}
+
+// storeBatcher coalesces per-row store notices into whole-generation frames
+// on the worker send path. Stores accumulate per (field, age); flushAll emits
+// pending frames in first-store order, which — combined with flushing before
+// every MDone — preserves the per-origin stores-before-done order the master
+// broker and downstream consumers rely on.
+//
+// Frames are never reused after emission: the in-process transport moves
+// *Msg by pointer, so a recycled buffer would alias an in-flight message.
+type storeBatcher struct {
+	mu     sync.Mutex
+	frames map[genKey]*runtime.StoreFrame
+	order  []genKey
+	emit   func(*Msg)
+
+	mFrames *obs.Counter
+	mBytes  *obs.Counter
+	mStores *obs.Counter
+}
+
+// newStoreBatcher creates a batcher that hands finished frames to emit.
+// Metrics handles may be nil (obs metrics are nil-safe).
+func newStoreBatcher(emit func(*Msg), reg *obs.Registry) *storeBatcher {
+	return &storeBatcher{
+		frames:  map[genKey]*runtime.StoreFrame{},
+		emit:    emit,
+		mFrames: reg.Counter(obs.MDistFramesTotal),
+		mBytes:  reg.Counter(obs.MDistFrameBytesTotal),
+		mStores: reg.Counter(obs.MDistFrameStores),
+	}
+}
+
+// add appends one store notice to its generation's frame, emitting the frame
+// immediately when it crosses a flush threshold. Safe on a nil batcher.
+func (b *storeBatcher) add(sn runtime.StoreNotice) error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := genKey{field: sn.Field, age: sn.Age}
+	f := b.frames[k]
+	if f == nil {
+		f = &runtime.StoreFrame{}
+		f.Reset(sn.Field, sn.Age)
+		b.frames[k] = f
+		b.order = append(b.order, k)
+	}
+	if err := f.Add(sn); err != nil {
+		return err
+	}
+	if f.Len() >= frameFlushBytes || f.Entries() >= frameFlushEntries {
+		b.emitLocked(k, f)
+	}
+	return nil
+}
+
+// flushAll emits every pending frame in first-store order. Safe on a nil
+// batcher.
+func (b *storeBatcher) flushAll() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, k := range b.order {
+		if f := b.frames[k]; f != nil {
+			b.emitLocked(k, f)
+		}
+	}
+	b.order = b.order[:0]
+}
+
+// emitLocked sends one frame and forgets it; the caller holds b.mu. The key
+// stays in b.order when called from add — flushAll skips the deleted entry.
+func (b *storeBatcher) emitLocked(k genKey, f *runtime.StoreFrame) {
+	delete(b.frames, k)
+	b.mFrames.Inc()
+	b.mBytes.Add(int64(f.Len()))
+	b.mStores.Add(int64(f.Entries()))
+	b.emit(&Msg{Kind: MStoreFrame, Field: k.field, Age: k.age, Frame: f.Bytes()})
+}

@@ -74,7 +74,7 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 			return nil, fmt.Errorf("dist: waiting for registration: %w", err)
 		}
 		if m.Kind != MRegister {
-			return nil, fmt.Errorf("dist: expected registration, got kind %d", m.Kind)
+			return nil, fmt.Errorf("dist: expected registration, got %v", m.Kind)
 		}
 		ids[i] = m.NodeID
 		topo = topo.Add(m.NodeID, m.Cores, m.Speed)
@@ -157,6 +157,9 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 		_, err := shadow.Run()
 		shadowDone <- err
 	}()
+	// Master-side frame accounting (nil-safe when cfg.Metrics is nil).
+	mFrames := cfg.Metrics.Counter(obs.MDistFramesTotal)
+	mFrameBytes := cfg.Metrics.Counter(obs.MDistFrameBytesTotal)
 
 	// Assign partitions and start.
 	for i, c := range conns {
@@ -177,12 +180,22 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 		msg  *Msg
 		err  error
 	}
+	// Readers select on brokerStop so they exit once RunMaster returns:
+	// after a failure the main loop stops draining inboxes, and a reader
+	// blocked on the full buffer would otherwise leak (its Recv keeps
+	// producing until the closed connection errors out).
 	inboxes := make(chan inbound, 1024)
+	brokerStop := make(chan struct{})
+	defer close(brokerStop)
 	for i, c := range conns {
 		go func(i int, c Conn) {
 			for {
 				m, err := c.Recv()
-				inboxes <- inbound{from: i, msg: m, err: err}
+				select {
+				case inboxes <- inbound{from: i, msg: m, err: err}:
+				case <-brokerStop:
+					return
+				}
 				if err != nil {
 					return
 				}
@@ -240,6 +253,18 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 					return fail(fmt.Errorf("dist: shadow store: %w", err))
 				}
 				if err := forward(in.from, fieldSubs[m.Store.Field], m); err != nil {
+					return fail(err)
+				}
+			case MStoreFrame:
+				// The envelope's Field/Age mirror the frame header, so
+				// routing needs no decode; the frame bytes are forwarded
+				// to subscribers as-is and only replayed into the shadow.
+				if err := shadow.InjectStoreFrame(m.Frame); err != nil {
+					return fail(fmt.Errorf("dist: shadow store frame: %w", err))
+				}
+				mFrames.Inc()
+				mFrameBytes.Add(int64(len(m.Frame)))
+				if err := forward(in.from, fieldSubs[m.Field], m); err != nil {
 					return fail(err)
 				}
 			case MDone:

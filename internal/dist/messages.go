@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"strconv"
+
 	"repro/internal/field"
 	"repro/internal/obs"
 	"repro/internal/runtime"
@@ -23,7 +25,42 @@ const (
 	MSnapshotReq                // master → worker: send a field generation
 	MSnapshot                   // worker → master: field generation contents
 	MError                      // either direction: fatal error
+	MStoreFrame                 // worker ↔ master: a batched store-notice frame (forwarded raw)
 )
+
+// String returns the lifecycle name of the message kind, for handshake and
+// protocol error messages.
+func (k MsgKind) String() string {
+	switch k {
+	case MRegister:
+		return "MRegister"
+	case MAssign:
+		return "MAssign"
+	case MStart:
+		return "MStart"
+	case MStore:
+		return "MStore"
+	case MDone:
+		return "MDone"
+	case MPing:
+		return "MPing"
+	case MStatus:
+		return "MStatus"
+	case MStopReq:
+		return "MStopReq"
+	case MReport:
+		return "MReport"
+	case MSnapshotReq:
+		return "MSnapshotReq"
+	case MSnapshot:
+		return "MSnapshot"
+	case MError:
+		return "MError"
+	case MStoreFrame:
+		return "MStoreFrame"
+	}
+	return "MsgKind(" + strconv.Itoa(int(k)) + ")"
+}
 
 // Msg is the single wire envelope; Kind selects which fields are meaningful.
 // A flat struct keeps gob encoding simple and self-describing.
@@ -41,6 +78,11 @@ type Msg struct {
 
 	// MStore
 	Store runtime.StoreNotice
+
+	// MStoreFrame: a whole-generation batch of store notices encoded by
+	// runtime.StoreFrame. Field and Age mirror the frame header so the
+	// master broker routes by subscription without decoding the payload.
+	Frame []byte
 
 	// MDone
 	Kernel string

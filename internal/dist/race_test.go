@@ -1,0 +1,8 @@
+//go:build race
+
+package dist
+
+// raceEnabled reports whether the race detector is active; the pool-reuse
+// regression test skips its allocation assertions under it because sync.Pool
+// drops a fraction of Puts on purpose when racing.
+const raceEnabled = true

@@ -37,12 +37,32 @@ type WorkerConfig struct {
 	KernelMaxAge map[string]int
 	Granularity  map[string]int
 
+	// DisableFrames reverts the send path to one gob-encoded MStore per
+	// store notice (the pre-framing wire behavior). Kept for A/B
+	// comparison: the transport benchmark and the worker binary's
+	// -gob-stores flag use it.
+	DisableFrames bool
+
 	// Metrics receives the node's full instrumentation and is snapshotted
 	// into every status heartbeat; when nil a private registry is created
 	// so the master's cluster view still sees live per-kernel stats.
 	Metrics *obs.Registry
 	// Tracer records kernel-instance lifecycle spans on this node.
 	Tracer *obs.Tracer
+}
+
+// handshakeErr formats the failure of a blocking handshake receive: a
+// transport error, an MError carrying the master's reason, or an unexpected
+// message kind.
+func handshakeErr(phase string, m *Msg, err error) error {
+	switch {
+	case err != nil:
+		return fmt.Errorf("dist: waiting for %s: %w", phase, err)
+	case m.Kind == MError:
+		return fmt.Errorf("dist: waiting for %s: master reported error: %s", phase, m.Err)
+	default:
+		return fmt.Errorf("dist: waiting for %s: unexpected %v", phase, m.Kind)
+	}
 }
 
 // RunWorker executes one node of a distributed run over an established
@@ -60,11 +80,8 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 	}
 
 	assign, err := conn.Recv()
-	if err != nil {
-		return nil, fmt.Errorf("dist: waiting for assignment: %w", err)
-	}
-	if assign.Kind != MAssign {
-		return nil, fmt.Errorf("dist: expected assignment, got kind %d", assign.Kind)
+	if err != nil || assign.Kind != MAssign {
+		return nil, handshakeErr("assignment", assign, err)
 	}
 	prog := cfg.Prog
 	if prog == nil {
@@ -121,6 +138,15 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 		return st
 	}
 
+	// The store batcher coalesces per-row notices into whole-generation
+	// MStoreFrame messages; it is flushed before every MDone (keeping the
+	// per-origin stores-before-done order) and on every ping (bounding how
+	// long an incomplete generation can sit unsent).
+	var batcher *storeBatcher
+	if !cfg.DisableFrames {
+		batcher = newStoreBatcher(send, reg)
+	}
+
 	node, err := runtime.NewNode(prog, runtime.Options{
 		Workers:       cfg.Cores,
 		MaxAge:        cfg.MaxAge,
@@ -133,10 +159,21 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 		Tracer:        cfg.Tracer,
 		OnStore: func(sn runtime.StoreNotice) {
 			sent.Add(1)
+			if batcher != nil {
+				if err := batcher.add(sn); err != nil {
+					send(&Msg{Kind: MError, Err: err.Error()})
+					select {
+					case sendErr <- err:
+					default:
+					}
+				}
+				return
+			}
 			send(&Msg{Kind: MStore, Store: sn})
 		},
 		OnKernelDone: func(kernel string, age int) {
 			sent.Add(1)
+			batcher.flushAll()
 			send(&Msg{Kind: MDone, Kernel: kernel, Age: age})
 		},
 	})
@@ -147,7 +184,8 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 
 	start, err := conn.Recv()
 	if err != nil || start.Kind != MStart {
-		return nil, fmt.Errorf("dist: waiting for start: %v", err)
+		node.Release()
+		return nil, handshakeErr("start", start, err)
 	}
 
 	runDone := make(chan struct{})
@@ -163,39 +201,78 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 			send(&Msg{Kind: MError, Err: runErr.Error()})
 		}
 	}()
+	// teardown stops the local run and returns its field generations to the
+	// slab pools; every exit path below goes through it (a long-lived worker
+	// process runs many programs over one process lifetime).
+	teardown := func() {
+		node.Stop()
+		<-runDone
+		node.Release()
+	}
+
+	// Receive on a separate goroutine so the main loop can select a failed
+	// send (a dead master) without waiting for the master to speak next.
+	// Closing the connection on return unblocks the receiver; the stop
+	// channel reaps it if it is blocked handing over a message.
+	type recvMsg struct {
+		m   *Msg
+		err error
+	}
+	recvCh := make(chan recvMsg)
+	recvStop := make(chan struct{})
+	defer close(recvStop)
+	defer conn.Close()
+	go func() {
+		for {
+			m, err := conn.Recv()
+			select {
+			case recvCh <- recvMsg{m: m, err: err}:
+			case <-recvStop:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
 
 	for {
+		var in recvMsg
 		select {
 		case err := <-sendErr:
-			node.Stop()
-			<-runDone
+			teardown()
 			return rep, fmt.Errorf("dist: sending to master: %w", err)
-		default:
+		case in = <-recvCh:
 		}
-		m, err := conn.Recv()
-		if err != nil {
-			node.Stop()
-			<-runDone
-			return rep, fmt.Errorf("dist: master connection: %w", err)
+		if in.err != nil {
+			teardown()
+			return rep, fmt.Errorf("dist: master connection: %w", in.err)
 		}
+		m := in.m
 		switch m.Kind {
 		case MStore:
 			received.Add(1)
 			if err := node.InjectStore(m.Store); err != nil {
 				send(&Msg{Kind: MError, Err: err.Error()})
-				node.Stop()
-				<-runDone
+				teardown()
+				return rep, err
+			}
+		case MStoreFrame:
+			received.Add(1)
+			if err := node.InjectStoreFrame(m.Frame); err != nil {
+				send(&Msg{Kind: MError, Err: err.Error()})
+				teardown()
 				return rep, err
 			}
 		case MDone:
 			received.Add(1)
 			if err := node.InjectRemoteDone(m.Kernel, m.Age); err != nil {
 				send(&Msg{Kind: MError, Err: err.Error()})
-				node.Stop()
-				<-runDone
+				teardown()
 				return rep, err
 			}
 		case MPing:
+			batcher.flushAll()
 			updateTransport()
 			send(&Msg{Kind: MStatus, Idle: node.Idle(), Sent: sent.Load(), Received: received.Load(), Metrics: reg.Snapshot()})
 		case MSnapshotReq:
@@ -210,6 +287,7 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 			<-runDone
 			if runErr != nil {
 				send(&Msg{Kind: MError, Err: runErr.Error()})
+				node.Release()
 				return rep, runErr
 			}
 			if st := updateTransport(); rep != nil {
@@ -219,10 +297,13 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 				rep.RecvBytes = st.RecvBytes
 			}
 			send(&Msg{Kind: MReport, Report: rep})
-			conn.Close()
+			// Release only after the report is out: a long-lived worker
+			// (cmd/p2g-worker) reuses the slab pools for its next program.
+			node.Release()
 			return rep, nil
 		default:
-			return rep, fmt.Errorf("dist: unexpected message kind %d", m.Kind)
+			teardown()
+			return rep, fmt.Errorf("dist: unexpected %v from master", m.Kind)
 		}
 	}
 }

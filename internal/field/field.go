@@ -71,6 +71,17 @@ func (s *ageStore) reset(rank int) {
 	s.complete = false
 }
 
+// DrainAgePoolsForTest empties the package-level generation pools so a test
+// starts from a deterministic pool state. The pools are shared by every Field
+// in the process, so pool-reuse regression tests in dependent packages (e.g.
+// dist's worker-release test) need this; it has no other use.
+func DrainAgePoolsForTest() {
+	for i := range agePools {
+		for agePools[i].Get() != nil {
+		}
+	}
+}
+
 // recycle returns a dropped generation to its class pool. String/Any slabs
 // are cleared eagerly so dropped payload references are released now, not at
 // next reuse.

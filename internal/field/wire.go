@@ -196,6 +196,24 @@ func (r *wireReader) uint64() (uint64, error) {
 	return binary.LittleEndian.Uint64(b), nil
 }
 
+// AppendWireValue appends the wire-format v1 encoding of v to buf and
+// returns the extended buffer. It is the append-style form of Value.GobEncode
+// for embedding values inside larger frames (see runtime.StoreFrame): encoded
+// values are self-delimiting, so no length prefix is needed.
+func AppendWireValue(buf []byte, v Value) ([]byte, error) { return v.appendWire(buf) }
+
+// DecodeWireValue decodes one wire-format value from the front of data and
+// returns it together with the number of bytes consumed. Trailing bytes are
+// left for the caller.
+func DecodeWireValue(data []byte) (Value, int, error) {
+	r := &wireReader{buf: data}
+	var v Value
+	if err := v.readWire(r); err != nil {
+		return Value{}, 0, err
+	}
+	return v, r.off, nil
+}
+
 // GobDecode implements gob.GobDecoder for Value.
 func (v *Value) GobDecode(data []byte) error {
 	r := &wireReader{buf: data}

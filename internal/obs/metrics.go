@@ -383,4 +383,9 @@ const (
 	MTransportRecvMsgs  = "transport_recv_msgs_total"
 	MTransportSentBytes = "transport_sent_bytes_total"
 	MTransportRecvBytes = "transport_recv_bytes_total"
+
+	// Distributed store framing (dist worker send path and master broker).
+	MDistFramesTotal     = "dist_frames_total"       // counter: store frames emitted
+	MDistFrameBytesTotal = "dist_frame_bytes_total"  // counter: encoded frame payload bytes
+	MDistFrameStores     = "dist_frame_stores_total" // counter: store notices carried inside frames
 )

@@ -1,0 +1,241 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/field"
+)
+
+// Store frames: the batched wire form of store notices. A frame carries every
+// store of one field generation that a node produced since the last flush,
+// encoded back-to-back in the typed wire format v1 (internal/field/wire.go),
+// so a generation crosses the dist transport as one typed block instead of a
+// gob-encoded boxed Value per store. The header names the field and age once;
+// each entry then holds only its addressing mode (element coordinates, whole,
+// or slab selector) and the raw typed payload.
+//
+// Layout:
+//
+//	frame := version(1B) | len(field) uvarint | field bytes | age varint | entry*
+//	entry := mode(1B) | mode header | wire value (self-delimiting)
+//	  mode 0 (element): rank uvarint, rank coordinates (varint each)
+//	  mode 1 (whole):   no header
+//	  mode 2 (slab):    rank uvarint, per dim: fixed(1B), index varint if fixed
+//
+// Entries run to the end of the buffer; wire values are self-delimiting so no
+// per-entry length prefix is needed. Decode is overflow-guarded: ranks are
+// bounded and every count is checked against the remaining bytes before
+// allocation.
+
+// storeFrameVersion is the frame header version byte. The value format inside
+// entries is versioned separately (wire format v1).
+const storeFrameVersion = 1
+
+// Entry addressing modes.
+const (
+	frameModeElem byte = iota
+	frameModeWhole
+	frameModeSlab
+)
+
+// frameMaxRank bounds coordinate and selector ranks during decode, mirroring
+// the wire format's array-rank guard.
+const frameMaxRank = 64
+
+// StoreFrame accumulates store notices for one field generation into a single
+// wire frame. The zero value is unusable; call Reset first. A StoreFrame is
+// not safe for concurrent use (the dist batcher serializes access).
+type StoreFrame struct {
+	buf     []byte
+	entries int
+}
+
+// Reset re-targets the frame at one field generation, dropping any previous
+// contents but keeping the buffer capacity.
+func (f *StoreFrame) Reset(fieldName string, age int) {
+	f.buf = append(f.buf[:0], storeFrameVersion)
+	f.buf = binary.AppendUvarint(f.buf, uint64(len(fieldName)))
+	f.buf = append(f.buf, fieldName...)
+	f.buf = binary.AppendVarint(f.buf, int64(age))
+	f.entries = 0
+}
+
+// Add appends one store notice. The notice must target the generation the
+// frame was Reset to; mixing generations corrupts nothing but delivers the
+// stores to the wrong age, so callers key frames by (field, age).
+func (f *StoreFrame) Add(sn StoreNotice) error {
+	switch {
+	case sn.Whole:
+		f.buf = append(f.buf, frameModeWhole)
+	case sn.Sel != nil:
+		f.buf = append(f.buf, frameModeSlab)
+		f.buf = binary.AppendUvarint(f.buf, uint64(len(sn.Sel)))
+		for _, sd := range sn.Sel {
+			if sd.Fixed {
+				f.buf = append(f.buf, 1)
+				f.buf = binary.AppendVarint(f.buf, int64(sd.Index))
+			} else {
+				f.buf = append(f.buf, 0)
+			}
+		}
+	default:
+		f.buf = append(f.buf, frameModeElem)
+		f.buf = binary.AppendUvarint(f.buf, uint64(len(sn.Elem)))
+		for _, i := range sn.Elem {
+			f.buf = binary.AppendVarint(f.buf, int64(i))
+		}
+	}
+	var err error
+	f.buf, err = field.AppendWireValue(f.buf, sn.Value)
+	if err != nil {
+		return fmt.Errorf("p2g: encoding store frame for %s: %w", sn.Field, err)
+	}
+	f.entries++
+	return nil
+}
+
+// Entries returns the number of stores added since the last Reset.
+func (f *StoreFrame) Entries() int { return f.entries }
+
+// Len returns the current encoded size in bytes.
+func (f *StoreFrame) Len() int { return len(f.buf) }
+
+// Bytes returns the encoded frame. The slice aliases the frame's buffer and
+// is invalidated by the next Reset or Add.
+func (f *StoreFrame) Bytes() []byte { return f.buf }
+
+// frameCursor is a bounds-checked decode cursor.
+type frameCursor struct {
+	buf []byte
+	off int
+}
+
+var errFrameShort = fmt.Errorf("p2g: truncated store frame")
+
+func (c *frameCursor) byte() (byte, error) {
+	if c.off >= len(c.buf) {
+		return 0, errFrameShort
+	}
+	b := c.buf[c.off]
+	c.off++
+	return b, nil
+}
+
+func (c *frameCursor) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(c.buf[c.off:])
+	if n <= 0 {
+		return 0, errFrameShort
+	}
+	c.off += n
+	return x, nil
+}
+
+func (c *frameCursor) varint() (int64, error) {
+	x, n := binary.Varint(c.buf[c.off:])
+	if n <= 0 {
+		return 0, errFrameShort
+	}
+	c.off += n
+	return x, nil
+}
+
+// DecodeStoreFrame decodes a frame produced by StoreFrame, invoking apply for
+// each store notice in encoding order. Decode stops at the first apply error.
+// The notices passed to apply reference memory decoded from the frame, not
+// the frame buffer itself, so apply may retain them.
+func DecodeStoreFrame(frame []byte, apply func(StoreNotice) error) error {
+	c := &frameCursor{buf: frame}
+	ver, err := c.byte()
+	if err != nil {
+		return err
+	}
+	if ver != storeFrameVersion {
+		return fmt.Errorf("p2g: unknown store frame version %d", ver)
+	}
+	nameLen, err := c.uvarint()
+	if err != nil {
+		return err
+	}
+	if nameLen > uint64(len(frame)-c.off) {
+		return errFrameShort
+	}
+	fieldName := string(frame[c.off : c.off+int(nameLen)])
+	c.off += int(nameLen)
+	age64, err := c.varint()
+	if err != nil {
+		return err
+	}
+	age := int(age64)
+
+	for c.off < len(frame) {
+		mode, err := c.byte()
+		if err != nil {
+			return err
+		}
+		sn := StoreNotice{Field: fieldName, Age: age}
+		switch mode {
+		case frameModeElem:
+			rank, err := c.uvarint()
+			if err != nil {
+				return err
+			}
+			if rank > frameMaxRank || rank > uint64(len(frame)-c.off) {
+				return fmt.Errorf("p2g: store frame coordinate rank %d out of range", rank)
+			}
+			if rank > 0 {
+				sn.Elem = make([]int, rank)
+				for d := range sn.Elem {
+					x, err := c.varint()
+					if err != nil {
+						return err
+					}
+					sn.Elem[d] = int(x)
+				}
+			}
+		case frameModeWhole:
+			sn.Whole = true
+		case frameModeSlab:
+			rank, err := c.uvarint()
+			if err != nil {
+				return err
+			}
+			if rank == 0 || rank > frameMaxRank || rank > uint64(len(frame)-c.off) {
+				return fmt.Errorf("p2g: store frame selector rank %d out of range", rank)
+			}
+			sn.Sel = make([]field.SlabDim, rank)
+			for d := range sn.Sel {
+				fixed, err := c.byte()
+				if err != nil {
+					return err
+				}
+				if fixed != 0 {
+					x, err := c.varint()
+					if err != nil {
+						return err
+					}
+					sn.Sel[d] = field.SlabDim{Fixed: true, Index: int(x)}
+				}
+			}
+		default:
+			return fmt.Errorf("p2g: unknown store frame entry mode %d", mode)
+		}
+		v, n, err := field.DecodeWireValue(frame[c.off:])
+		if err != nil {
+			return err
+		}
+		c.off += n
+		sn.Value = v
+		if err := apply(sn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InjectStoreFrame applies a batched store frame received from a remote node:
+// each entry is written to the local field replica and the analyzer notified,
+// exactly as InjectStore does for a single notice.
+func (n *Node) InjectStoreFrame(frame []byte) error {
+	return DecodeStoreFrame(frame, n.InjectStore)
+}

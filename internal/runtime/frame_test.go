@@ -1,0 +1,333 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/field"
+)
+
+func randFrameArray(r *rand.Rand) *field.Array {
+	kinds := []field.Kind{field.Int32, field.Int64, field.Float64, field.Uint8, field.Bool}
+	k := kinds[r.Intn(len(kinds))]
+	rank := 1 + r.Intn(3)
+	extents := make([]int, rank)
+	n := 1
+	for d := range extents {
+		extents[d] = 1 + r.Intn(4)
+		n *= extents[d]
+	}
+	a := field.NewArray(k, extents...)
+	for i := 0; i < n; i++ {
+		switch k {
+		case field.Float64:
+			a.SetFlat(field.Float64Val(r.NormFloat64()), i)
+		case field.Bool:
+			a.SetFlat(field.BoolVal(r.Intn(2) == 0), i)
+		default:
+			a.SetFlat(field.Int64Val(r.Int63n(200)), i)
+		}
+	}
+	return a
+}
+
+func randFrameValue(r *rand.Rand) field.Value {
+	switch r.Intn(6) {
+	case 0:
+		return field.Int32Val(int32(r.Int31() - r.Int31()))
+	case 1:
+		return field.Int64Val(r.Int63() - r.Int63())
+	case 2:
+		return field.Float64Val(r.NormFloat64())
+	case 3:
+		return field.BoolVal(r.Intn(2) == 0)
+	case 4:
+		return field.StringVal(fmt.Sprintf("s%d", r.Intn(1000)))
+	default:
+		return field.ArrayVal(randFrameArray(r))
+	}
+}
+
+func randFrameNotice(r *rand.Rand, fieldName string, age int) StoreNotice {
+	sn := StoreNotice{Field: fieldName, Age: age}
+	switch r.Intn(3) {
+	case 0: // element store, rank 0..3
+		rank := r.Intn(4)
+		for d := 0; d < rank; d++ {
+			sn.Elem = append(sn.Elem, r.Intn(100)-5)
+		}
+		sn.Value = randFrameValue(r)
+	case 1: // whole-field store
+		sn.Whole = true
+		sn.Value = field.ArrayVal(randFrameArray(r))
+	default: // slab store, rank 1..3
+		rank := 1 + r.Intn(3)
+		for d := 0; d < rank; d++ {
+			if r.Intn(2) == 0 {
+				sn.Sel = append(sn.Sel, field.SlabDim{Fixed: true, Index: r.Intn(50)})
+			} else {
+				sn.Sel = append(sn.Sel, field.SlabDim{})
+			}
+		}
+		sn.Value = field.ArrayVal(randFrameArray(r))
+	}
+	return sn
+}
+
+func noticesEqual(a, b StoreNotice) bool {
+	if a.Field != b.Field || a.Age != b.Age || a.Whole != b.Whole {
+		return false
+	}
+	if !slices.Equal(a.Elem, b.Elem) || !slices.Equal(a.Sel, b.Sel) {
+		return false
+	}
+	if a.Value.IsArray() != b.Value.IsArray() {
+		return false
+	}
+	if a.Value.IsArray() {
+		return a.Value.Array().Equal(b.Value.Array())
+	}
+	return a.Value.Equal(b.Value)
+}
+
+// TestStoreFrameRoundTrip pushes random store notices (all three addressing
+// modes, random kinds/ranks/extents) through encode → decode and requires
+// the decoded sequence to match exactly.
+func TestStoreFrameRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		fieldName := fmt.Sprintf("f%d", r.Intn(5))
+		age := r.Intn(40) // ages are varint-encoded; negatives don't occur in programs
+		var f StoreFrame
+		f.Reset(fieldName, age)
+		var want []StoreNotice
+		for i := 0; i < 1+r.Intn(8); i++ {
+			sn := randFrameNotice(r, fieldName, age)
+			want = append(want, sn)
+			if err := f.Add(sn); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if f.Entries() != len(want) {
+			t.Fatalf("entries = %d, want %d", f.Entries(), len(want))
+		}
+		var got []StoreNotice
+		if err := DecodeStoreFrame(f.Bytes(), func(sn StoreNotice) error {
+			got = append(got, sn)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("decoded %d notices, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !noticesEqual(got[i], want[i]) {
+				t.Fatalf("notice %d: got %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStoreFrameTruncated decodes every prefix of a valid frame: a prefix
+// must either fail cleanly or decode to a prefix of the original notices —
+// never crash, never invent entries.
+func TestStoreFrameTruncated(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var f StoreFrame
+	f.Reset("trunc", 3)
+	var want []StoreNotice
+	for i := 0; i < 6; i++ {
+		sn := randFrameNotice(r, "trunc", 3)
+		want = append(want, sn)
+		if err := f.Add(sn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := f.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		var got []StoreNotice
+		err := DecodeStoreFrame(full[:cut], func(sn StoreNotice) error {
+			got = append(got, sn)
+			return nil
+		})
+		if err == nil && cut < len(full) {
+			// A clean prefix decode is only legal at an entry boundary.
+			if len(got) >= len(want) {
+				t.Fatalf("cut %d: decoded %d notices from a strict prefix", cut, len(got))
+			}
+		}
+		for i := range got {
+			if i < len(want) && !noticesEqual(got[i], want[i]) {
+				t.Fatalf("cut %d: notice %d diverged", cut, i)
+			}
+		}
+	}
+}
+
+// TestStoreFrameCorrupt exercises the decoder's guard rails on hostile input.
+func TestStoreFrameCorrupt(t *testing.T) {
+	var f StoreFrame
+	f.Reset("c", 0)
+	if err := f.Add(StoreNotice{Field: "c", Age: 0, Elem: []int{1}, Value: field.Int32Val(7)}); err != nil {
+		t.Fatal(err)
+	}
+	valid := append([]byte(nil), f.Bytes()...)
+
+	nop := func(StoreNotice) error { return nil }
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad version":  {99},
+		"huge name":    {storeFrameVersion, 0xff, 0xff, 0xff, 0x7f},
+		"name overrun": {storeFrameVersion, 40, 'x'},
+	}
+	for name, data := range cases {
+		if err := DecodeStoreFrame(data, nop); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+	// Corrupt the entry mode byte: header is ver|len|"c"|age, so the mode
+	// byte sits at offset 4.
+	bad := append([]byte(nil), valid...)
+	bad[4] = 77
+	if err := DecodeStoreFrame(bad, nop); err == nil {
+		t.Error("bad mode byte: decode succeeded")
+	}
+	// Oversized element rank.
+	var g StoreFrame
+	g.Reset("c", 0)
+	hdr := len(g.Bytes())
+	overRank := append(append([]byte(nil), valid[:hdr]...), frameModeElem, 0xff, 0xff, 0x7f)
+	if err := DecodeStoreFrame(overRank, nop); err == nil {
+		t.Error("oversized rank: decode succeeded")
+	}
+	// An apply error stops the decode and propagates.
+	wantErr := fmt.Errorf("stop")
+	if err := DecodeStoreFrame(valid, func(StoreNotice) error { return wantErr }); err != wantErr {
+		t.Errorf("apply error = %v, want %v", err, wantErr)
+	}
+}
+
+// frameEquivProg is a program whose kernels are all remote, mirroring the
+// master's shadow node: three versioned fields of different kinds and ranks.
+func frameEquivProg(t *testing.T) *core.Program {
+	t.Helper()
+	b := core.NewBuilder("frames")
+	b.Field("fi", field.Int32, 1, true)
+	b.Field("ff", field.Float64, 2, true)
+	b.Field("fu", field.Uint8, 2, true)
+	nop := func(c *core.Ctx) error { return nil }
+	b.Kernel("s1").Local("v", field.Int32, 1).StoreAll("fi", core.AgeAt(0), "v").Body(nop)
+	b.Kernel("s2").Local("v", field.Float64, 2).StoreAll("ff", core.AgeAt(0), "v").Body(nop)
+	b.Kernel("s3").Local("v", field.Uint8, 2).StoreAll("fu", core.AgeAt(0), "v").Body(nop)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newShadow(t *testing.T, prog *core.Program) (*Node, func()) {
+	t.Helper()
+	remote := map[string]bool{"s1": true, "s2": true, "s3": true}
+	n, err := NewNode(prog, Options{Workers: 1, RemoteKernels: remote, NoAutoQuiesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = n.Run()
+	}()
+	return n, func() {
+		n.Stop()
+		<-done
+	}
+}
+
+// TestInjectStoreFrameMatchesInjectStore applies the same store sequence to
+// two shadow nodes — one notice-by-notice via InjectStore, one batched via
+// InjectStoreFrame — and requires identical field state.
+func TestInjectStoreFrameMatchesInjectStore(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	prog := frameEquivProg(t)
+	direct, stopDirect := newShadow(t, prog)
+	framed, stopFramed := newShadow(t, prog)
+
+	// One generation per (field, addressing mode): element stores into fi,
+	// a whole-field store into ff, slab stores into fu.
+	var notices []StoreNotice
+	for i := 0; i < 10; i++ {
+		notices = append(notices, StoreNotice{
+			Field: "fi", Age: 0, Elem: []int{i},
+			Value: field.Int32Val(int32(r.Intn(1000))),
+		})
+	}
+	whole := field.NewArray(field.Float64, 4, 3)
+	for i := 0; i < whole.Len(); i++ {
+		whole.SetFlat(field.Float64Val(r.NormFloat64()), i)
+	}
+	notices = append(notices, StoreNotice{Field: "ff", Age: 0, Whole: true, Value: field.ArrayVal(whole)})
+	for i := 0; i < 4; i++ {
+		row := field.NewArray(field.Uint8, 8)
+		for j := 0; j < 8; j++ {
+			row.SetFlat(field.Int64Val(r.Int63n(256)), j)
+		}
+		notices = append(notices, StoreNotice{
+			Field: "fu", Age: 0,
+			Sel:   []field.SlabDim{{Fixed: true, Index: i}, {}},
+			Value: field.ArrayVal(row),
+		})
+	}
+
+	frames := map[string]*StoreFrame{}
+	for _, sn := range notices {
+		if err := direct.InjectStore(sn); err != nil {
+			t.Fatal(err)
+		}
+		f := frames[sn.Field]
+		if f == nil {
+			f = &StoreFrame{}
+			f.Reset(sn.Field, sn.Age)
+			frames[sn.Field] = f
+		}
+		if err := f.Add(sn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range frames {
+		if err := framed.InjectStoreFrame(f.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stopDirect()
+	stopFramed()
+
+	for _, fieldName := range []string{"fi", "ff", "fu"} {
+		want, err := direct.Snapshot(fieldName, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := framed.Snapshot(fieldName, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s: framed %v, direct %v", fieldName, got, want)
+		}
+	}
+	// Unknown-field frames surface the InjectStore error.
+	var bad StoreFrame
+	bad.Reset("nope", 0)
+	if err := bad.Add(StoreNotice{Field: "nope", Age: 0, Elem: []int{0}, Value: field.Int32Val(1)}); err != nil {
+		t.Fatal(err)
+	}
+	n, stop := newShadow(t, prog)
+	defer stop()
+	if err := n.InjectStoreFrame(bad.Bytes()); err == nil {
+		t.Error("frame for unknown field injected cleanly")
+	}
+}

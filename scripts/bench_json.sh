@@ -7,7 +7,9 @@
 #              the dispatch benchmarks           -> BENCH_scheduler.json
 #   memory     figure 9/10 on the default scheduler plus the typed memory-path
 #              benchmarks (slab store, wire encode) -> BENCH_memory.json
-#   all        both suites
+#   transport  distributed MJPEG encode over TCP loopback, batched typed
+#              frames vs the gob-per-store baseline -> BENCH_transport.json
+#   all        every suite
 #
 # Usage: scripts/bench_json.sh [benchtime] [suite]   (default 1s scheduler)
 set -eu
@@ -32,14 +34,16 @@ emit() {
 	BEGIN { n = 0 }
 	/^Benchmark/ {
 		name = $1; sub(/-[0-9]+$/, "", name)
-		iters = $2; nsop = ""; bop = ""; allocs = ""
+		iters = $2; nsop = ""; bop = ""; allocs = ""; wire = ""
 		for (i = 3; i < NF; i++) {
 			if ($(i + 1) == "ns/op") nsop = $i
 			if ($(i + 1) == "B/op") bop = $i
 			if ($(i + 1) == "allocs/op") allocs = $i
+			if ($(i + 1) == "wire-B/op") wire = $i
 		}
 		line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, iters)
 		if (nsop != "") line = line sprintf(", \"ns_per_op\": %s", nsop)
+		if (wire != "") line = line sprintf(", \"wire_bytes_per_op\": %s", wire)
 		if (bop != "") line = line sprintf(", \"bytes_per_op\": %s", bop)
 		if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
 		line = line "}"
@@ -66,12 +70,16 @@ scheduler)
 memory)
 	emit BENCH_memory.json 'Fig9MJPEG$|Fig10KMeans$|FieldStoreSlab|WireEncodeFrame' .
 	;;
+transport)
+	emit BENCH_transport.json 'TransportMJPEG' .
+	;;
 all)
 	emit BENCH_scheduler.json 'Fig9MJPEG|Fig10KMeans|Dispatch' . ./internal/runtime/
 	emit BENCH_memory.json 'Fig9MJPEG$|Fig10KMeans$|FieldStoreSlab|WireEncodeFrame' .
+	emit BENCH_transport.json 'TransportMJPEG' .
 	;;
 *)
-	echo "unknown suite: $suite (want scheduler, memory, or all)" >&2
+	echo "unknown suite: $suite (want scheduler, memory, transport, or all)" >&2
 	exit 2
 	;;
 esac
