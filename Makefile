@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-mem bench-transport bench-full bench-json clean
+.PHONY: all build test race vet fmt-check ci bench bench-mem bench-transport bench-obs bench-full bench-json clean
 
 all: build
 
@@ -42,6 +42,15 @@ bench-mem:
 # loopback, enough to catch protocol or framing breaks on the store path.
 bench-transport:
 	$(GO) test -bench 'TransportMJPEG' -benchtime=1x -count=1 -run xxx .
+
+# bench-obs is the observability smoke gate (also run by ci.sh): one run of
+# the figure 9/10 workloads under each observability setting (off, metrics,
+# full tracing), plus the allocation test pinning the tracing-off dispatch
+# path at zero allocs — enough to catch instrumentation leaking into the
+# fast path.
+bench-obs:
+	$(GO) test -bench 'ObsOverhead' -benchtime=1x -count=1 -run xxx .
+	$(GO) test -run DispatchTracingOffAllocFree -count=1 ./internal/runtime/
 
 # bench-full is the measurement run over the whole benchmark suite.
 bench-full:

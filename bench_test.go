@@ -18,6 +18,8 @@ package p2g
 //	BenchmarkWireEncodeFrame — typed-slab wire encoding of one frame component
 //	BenchmarkTransportMJPEG — distributed MJPEG encode over TCP loopback,
 //	                          framed typed transport vs gob-per-store baseline
+//	BenchmarkObsOverhead*  — tracing-off vs metrics vs full-tracing overhead
+//	                          on the figure 9/10 workloads (gate: off ≈ free)
 
 import (
 	"fmt"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/kmeans"
 	"repro/internal/lang"
 	"repro/internal/mjpeg"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/sched"
 	"repro/internal/video"
@@ -391,6 +394,59 @@ func BenchmarkTransportMJPEG(b *testing.B) {
 			b.ReportMetric(float64(wireBytes)/float64(b.N), "wire-B/op")
 		})
 	}
+}
+
+// benchObsModes runs a workload under the three observability settings: no
+// instrumentation at all (the default fast path — must track the plain
+// figure-9/10 numbers), a live metrics registry (stage timers on), and
+// metrics plus span tracing. Fresh registry/tracer per iteration, like the
+// command-line tools allocate them.
+func benchObsModes(b *testing.B, mkProg func() *core.Program, opts func() runtime.Options) {
+	for _, c := range []struct {
+		name    string
+		metrics bool
+		traced  bool
+	}{
+		{"off", false, false},
+		{"metrics", true, false},
+		{"traced", true, true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := opts()
+				if c.metrics {
+					o.Metrics = obs.NewRegistry()
+				}
+				if c.traced {
+					o.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+				}
+				if _, err := runtime.Run(mkProg(), o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverheadMJPEG measures observability overhead on the figure 9
+// MJPEG workload; the "off" case is the regression gate for the tracing-off
+// fast path (ISSUE 6: ≤2% vs the plain Fig9 numbers).
+func BenchmarkObsOverheadMJPEG(b *testing.B) {
+	const frames = 2
+	benchObsModes(b, func() *core.Program {
+		return workloads.MJPEG(workloads.MJPEGConfig{
+			Source:  video.NewCIFSource(frames, 42),
+			FastDCT: true,
+		})
+	}, func() runtime.Options { return runtime.Options{Workers: 2} })
+}
+
+// BenchmarkObsOverheadKMeans is the same measurement on the figure 10
+// K-means workload.
+func BenchmarkObsOverheadKMeans(b *testing.B) {
+	cfg := workloads.KMeansConfig{N: 500, K: 25, Iter: 5, Dim: 2, Seed: 7}
+	benchObsModes(b, func() *core.Program { return workloads.KMeans(cfg) },
+		func() runtime.Options { return workloads.KMeansOptions(cfg, 2) })
 }
 
 // BenchmarkLangCompile measures kernel-language compilation (the p2gc path).

@@ -23,3 +23,8 @@ go test -bench 'FieldStoreSlab|WireEncodeFrame' -benchmem -benchtime=100x -count
 # Distributed-transport smoke gate (`make bench-transport`): one framed and
 # one gob-per-store distributed MJPEG encode over TCP loopback.
 go test -bench 'TransportMJPEG' -benchtime=1x -count=1 -run xxx .
+# Observability smoke gate (`make bench-obs`): the figure 9/10 workloads under
+# each observability setting, and the tracing-off dispatch path pinned at
+# zero allocations per instance.
+go test -bench 'ObsOverhead' -benchtime=1x -count=1 -run xxx .
+go test -run DispatchTracingOffAllocFree -count=1 ./internal/runtime/

@@ -27,6 +27,7 @@ func main() {
 	nodes := flag.Int("nodes", 2, "execution nodes to wait for")
 	workload := flag.String("workload", "mulsum", "workload spec (mulsum | kmeans:... | mjpeg:...)")
 	method := flag.String("method", "kl", "partitioning method: greedy, kl or tabu")
+	tracePath := flag.String("trace", "", "write a merged Chrome trace_event JSON of the whole cluster (master + every worker, clock-aligned)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metricz and the merged cluster /statusz on this address, e.g. :9090")
 	flag.Parse()
 
@@ -48,9 +49,13 @@ func main() {
 	}
 
 	view := dist.NewClusterView(*workload)
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
 	reg := obs.NewRegistry()
 	if *metricsAddr != "" {
-		srv := obs.NewServer(*metricsAddr, reg, nil, view.Status)
+		srv := obs.NewServer(*metricsAddr, reg, tracer, view.Status)
 		if err := srv.Start(); err != nil {
 			fail(err)
 		}
@@ -74,9 +79,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p2g-master: node %d/%d connected\n", i+1, *nodes)
 	}
 
-	res, err := dist.RunMaster(dist.MasterConfig{Prog: prog, Method: m, Spec: *workload, View: view, Metrics: reg}, conns)
+	res, err := dist.RunMaster(dist.MasterConfig{
+		Prog: prog, Method: m, Spec: *workload, View: view,
+		Metrics: reg, Tracer: tracer, CollectTraces: tracer != nil,
+	}, conns)
 	if err != nil {
 		fail(err)
+	}
+
+	if tracer != nil {
+		// One clock-aligned timeline: the master's own spans as pid 1,
+		// each worker's pulled span buffer under its node id.
+		bundles := append([]obs.NodeTrace{tracer.NodeTrace("master", 1)}, res.Traces...)
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := obs.WriteMergedChromeTrace(f, bundles); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "p2g-master: merged cluster trace (%d nodes) written to %s\n", len(bundles), *tracePath)
 	}
 
 	fmt.Printf("workload %q partitioned with %s (cut %.1f, imbalance %.2f)\n",

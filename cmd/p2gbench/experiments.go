@@ -120,16 +120,23 @@ func figSweep(mkProg func() *core.Program, opts func(workers int) runtime.Option
 		"model(ours)", "paper-i7", "paper-Opteron")
 	for w := 1; w <= *maxWorkers; w++ {
 		var ds []time.Duration
+		var lastRep *runtime.Report
 		for r := 0; r < *runs; r++ {
 			rep, err := runInstrumented(mkProg(), opts(w))
 			if err != nil {
 				return err
 			}
 			ds = append(ds, rep.Wall)
+			lastRep = rep
 		}
 		mean, std := meanStd(ds)
 		fmt.Printf("%-8d %8.3f ± %-10.3f %-12.3f %-12.3f %-12.3f\n",
 			w, mean, std, predicted[w-1].Seconds(), paperFast[w-1].Seconds(), paperSlow[w-1].Seconds())
+		if *attrFlag && lastRep != nil && lastRep.Stages != nil {
+			// Per-worker attribution is the bottleneck profile: watch
+			// ready-wait and idle grow with w while exec stays flat (§VIII-B).
+			fmt.Print(lastRep.Attribution())
+		}
 	}
 	fmt.Printf("(our analyzer per-event cost calibrated at %v; worker work %.3fs, analyzer work %.3fs;\n",
 		model.AnalyzerPerEvent, model.WorkerWork().Seconds(), model.AnalyzerWork().Seconds())

@@ -32,6 +32,7 @@ var (
 	kmIters     = flag.Int("iters", 10, "K-means iterations (paper: 10)")
 	simCores    = flag.Int("simcores", 8, "core count of the simulated machines for fig9/fig10")
 	tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON of every instrumented run's kernel instances")
+	attrFlag    = flag.Bool("attr", false, "print per-stage latency attribution (ready-wait, queue-wait, fetch, exec, store, idle) after every instrumented run")
 	metricsAddr = flag.String("metrics-addr", "", "serve /metricz, /statusz and /tracez on this address while experiments run, e.g. :9090")
 	schedFlag   = flag.String("scheduler", "stealing", "ready-queue implementation: stealing (work-stealing deques) or global (reference queue)")
 )
@@ -70,9 +71,16 @@ func main() {
 	if *tracePath != "" {
 		benchTracer = obs.NewTracer(obs.DefaultTraceCapacity)
 	}
-	var current string
-	if *metricsAddr != "" {
+	if *attrFlag {
+		// Attribution needs the stage histograms, so -attr implies a live
+		// registry even without -metrics-addr.
 		benchReg = obs.NewRegistry()
+	}
+	var current string
+	if *metricsAddr != "" && benchReg == nil {
+		benchReg = obs.NewRegistry()
+	}
+	if *metricsAddr != "" {
 		srv := obs.NewServer(*metricsAddr, benchReg, benchTracer, func() any {
 			return map[string]string{"tool": "p2gbench", "experiment": current}
 		})

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"hash/fnv"
 	"sync"
 
 	"repro/internal/obs"
@@ -33,8 +34,18 @@ type genKey struct {
 type storeBatcher struct {
 	mu     sync.Mutex
 	frames map[genKey]*runtime.StoreFrame
+	traces map[genKey]uint64
 	order  []genKey
 	emit   func(*Msg)
+
+	// Causal tracing (nil tracer disables it and keeps frames in the
+	// untraced v1 layout): each frame gets a cluster-unique trace id —
+	// node-seed in the high bits, a local sequence in the low bits — stamped
+	// into both the frame header and the Msg envelope, and emission records
+	// the flow-start span of the frame's cross-node journey.
+	tracer *obs.Tracer
+	seed   uint64
+	seq    uint64
 
 	mFrames *obs.Counter
 	mBytes  *obs.Counter
@@ -42,11 +53,17 @@ type storeBatcher struct {
 }
 
 // newStoreBatcher creates a batcher that hands finished frames to emit.
-// Metrics handles may be nil (obs metrics are nil-safe).
-func newStoreBatcher(emit func(*Msg), reg *obs.Registry) *storeBatcher {
+// Metrics handles may be nil (obs metrics are nil-safe); a nil tracer
+// disables causal trace ids.
+func newStoreBatcher(emit func(*Msg), reg *obs.Registry, nodeID string, tracer *obs.Tracer) *storeBatcher {
+	h := fnv.New64a()
+	h.Write([]byte(nodeID))
 	return &storeBatcher{
 		frames:  map[genKey]*runtime.StoreFrame{},
+		traces:  map[genKey]uint64{},
 		emit:    emit,
+		tracer:  tracer,
+		seed:    h.Sum64(),
 		mFrames: reg.Counter(obs.MDistFramesTotal),
 		mBytes:  reg.Counter(obs.MDistFrameBytesTotal),
 		mStores: reg.Counter(obs.MDistFrameStores),
@@ -65,7 +82,16 @@ func (b *storeBatcher) add(sn runtime.StoreNotice) error {
 	f := b.frames[k]
 	if f == nil {
 		f = &runtime.StoreFrame{}
-		f.Reset(sn.Field, sn.Age)
+		if b.tracer != nil {
+			// Low 32 bits are the local sequence (nonzero), high bits the
+			// node seed: unique across the cluster for practical runs.
+			b.seq++
+			trace := (b.seed << 32) | (b.seq & 0xffffffff)
+			b.traces[k] = trace
+			f.ResetTraced(sn.Field, sn.Age, trace)
+		} else {
+			f.Reset(sn.Field, sn.Age)
+		}
 		b.frames[k] = f
 		b.order = append(b.order, k)
 	}
@@ -97,9 +123,21 @@ func (b *storeBatcher) flushAll() {
 // emitLocked sends one frame and forgets it; the caller holds b.mu. The key
 // stays in b.order when called from add — flushAll skips the deleted entry.
 func (b *storeBatcher) emitLocked(k genKey, f *runtime.StoreFrame) {
+	trace := b.traces[k]
 	delete(b.frames, k)
+	delete(b.traces, k)
 	b.mFrames.Inc()
 	b.mBytes.Add(int64(f.Len()))
 	b.mStores.Add(int64(f.Entries()))
-	b.emit(&Msg{Kind: MStoreFrame, Field: k.field, Age: k.age, Frame: f.Bytes()})
+	emitFrom := b.tracer.Now()
+	b.emit(&Msg{Kind: MStoreFrame, Field: k.field, Age: k.age, Frame: f.Bytes(), Trace: trace})
+	if tr := b.tracer; tr != nil {
+		// Flow start of the frame's causal journey: handing the encoded
+		// generation to the transport.
+		tr.Record(obs.Span{
+			Name: "emit " + k.field, Cat: "dist", Ph: obs.PhaseComplete,
+			TS: emitFrom, Dur: tr.Now() - emitFrom,
+			Age: k.age, Trace: trace, Flow: obs.FlowStart,
+		})
+	}
 }

@@ -33,8 +33,19 @@ type MasterConfig struct {
 	// View, when set, is kept current with the run's phase, assignment and
 	// per-worker heartbeats — it backs the master's /statusz endpoint.
 	View *ClusterView
-	// Metrics, when set, instruments the master's shadow node.
+	// Metrics, when set, instruments the master's shadow node, and the
+	// broker additionally records per-worker message flight times
+	// (clock-offset corrected) under obs.MStageFlightNs.
 	Metrics *obs.Registry
+	// Tracer, when set, records the master's own spans: the shadow node's
+	// lifecycle plus one broker span per forwarded store frame, tagged with
+	// the frame's causal trace id.
+	Tracer *obs.Tracer
+	// CollectTraces pulls every worker's span buffer at shutdown
+	// (MTraceReq/MTrace) into MasterResult.Traces, clock-aligned and ready
+	// for obs.WriteMergedChromeTrace. Implied by Tracer for the handshake's
+	// clock sync, but useful alone: workers trace, the master only merges.
+	CollectTraces bool
 }
 
 // MasterResult is the outcome of a distributed run.
@@ -48,6 +59,14 @@ type MasterResult struct {
 	// Shadow is the master's field replica: it observed every store, so
 	// Snapshot on it returns the complete program state.
 	Shadow *runtime.Node
+	// Traces holds each worker's clock-aligned span bundle (only with
+	// CollectTraces); append the master's own tracer bundle and hand the
+	// lot to obs.WriteMergedChromeTrace for one cluster-wide timeline.
+	Traces []obs.NodeTrace
+	// ClockOffsets maps node IDs to their estimated clock offset relative
+	// to the master (nanoseconds, worker minus master); empty when the run
+	// was not observed (no metrics, tracer, or trace collection).
+	ClockOffsets map[string]int64
 }
 
 // RunMaster drives a distributed execution over already-established worker
@@ -79,6 +98,22 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 		ids[i] = m.NodeID
 		topo = topo.Add(m.NodeID, m.Cores, m.Speed)
 		cfg.View.registerWorker(i, m.NodeID, m.Cores, m.Speed)
+	}
+
+	// Clock sync: estimate each worker's offset so spans and flight times
+	// land on one timeline. Gated on observability being requested — the
+	// probes add handshake round trips, and workers that predate the
+	// protocol extension tolerate them but plain runs shouldn't pay.
+	observed := cfg.Metrics != nil || cfg.Tracer != nil || cfg.CollectTraces
+	offsets := make([]int64, len(conns))
+	if observed {
+		for i, c := range conns {
+			off, err := estimateClockOffset(c, clockProbes)
+			if err != nil {
+				return nil, fmt.Errorf("dist: syncing clock of %s: %w", ids[i], err)
+			}
+			offsets[i] = off
+		}
 	}
 	cfg.View.setPhase("partitioning")
 
@@ -148,6 +183,7 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 		RemoteKernels: allRemote,
 		NoAutoQuiesce: true,
 		Metrics:       cfg.Metrics,
+		Tracer:        cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -157,18 +193,26 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 		_, err := shadow.Run()
 		shadowDone <- err
 	}()
-	// Master-side frame accounting (nil-safe when cfg.Metrics is nil).
+	// Master-side frame accounting (nil-safe when cfg.Metrics is nil), plus
+	// per-worker message flight histograms when metrics are on.
 	mFrames := cfg.Metrics.Counter(obs.MDistFramesTotal)
 	mFrameBytes := cfg.Metrics.Counter(obs.MDistFrameBytesTotal)
+	hFlight := make([]*obs.Histogram, len(conns))
+	if cfg.Metrics != nil {
+		for i := range conns {
+			hFlight[i] = cfg.Metrics.Histogram(obs.Label(obs.MStageFlightNs, "node", ids[i]))
+		}
+	}
 
-	// Assign partitions and start.
+	// Assign partitions and start; MStart carries the clock-sync result so
+	// workers can correct master-stamped timestamps.
 	for i, c := range conns {
-		if err := c.Send(&Msg{Kind: MAssign, Kernels: kernelsOf[i], Spec: cfg.Spec}); err != nil {
+		if err := c.Send(&Msg{Kind: MAssign, Kernels: kernelsOf[i], Spec: cfg.Spec, TraceOn: cfg.CollectTraces}); err != nil {
 			return nil, err
 		}
 	}
-	for _, c := range conns {
-		if err := c.Send(&Msg{Kind: MStart}); err != nil {
+	for i, c := range conns {
+		if err := c.Send(&Msg{Kind: MStart, OffsetNs: offsets[i], Synced: observed, SentNs: time.Now().UnixNano()}); err != nil {
 			return nil, err
 		}
 	}
@@ -207,9 +251,25 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 	status := make([]Msg, len(conns))
 	statusSeen := make([]bool, len(conns))
 	reports := map[string]*runtime.Report{}
+	var traces []obs.NodeTrace
 	stableRounds := 0
 	var lastTotal int64 = -1
 	stopSent := false
+
+	// observeFlight records how long a worker message spent in flight:
+	// master receive time minus the worker's send stamp rebased to the
+	// master clock. Clamped at zero — the offset estimate has RTT/2 error,
+	// so fast messages can appear to arrive before they left.
+	observeFlight := func(from int, m *Msg) {
+		if hFlight[from] == nil || m.SentNs == 0 {
+			return
+		}
+		flight := time.Now().UnixNano() - (m.SentNs - offsets[from])
+		if flight < 0 {
+			flight = 0
+		}
+		hFlight[from].Observe(time.Duration(flight))
+	}
 
 	forward := func(from int, subs []int, m *Msg) error {
 		for _, i := range subs {
@@ -247,6 +307,7 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 				return fail(fmt.Errorf("dist: worker %s: %w", ids[in.from], in.err))
 			}
 			m := in.msg
+			observeFlight(in.from, m)
 			switch m.Kind {
 			case MStore:
 				if err := shadow.InjectStore(m.Store); err != nil {
@@ -259,6 +320,7 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 				// The envelope's Field/Age mirror the frame header, so
 				// routing needs no decode; the frame bytes are forwarded
 				// to subscribers as-is and only replayed into the shadow.
+				brokerFrom := cfg.Tracer.Now()
 				if err := shadow.InjectStoreFrame(m.Frame); err != nil {
 					return fail(fmt.Errorf("dist: shadow store frame: %w", err))
 				}
@@ -266,6 +328,15 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 				mFrameBytes.Add(int64(len(m.Frame)))
 				if err := forward(in.from, fieldSubs[m.Field], m); err != nil {
 					return fail(err)
+				}
+				if tr := cfg.Tracer; tr != nil {
+					// The broker hop of the frame's causal trace: replay
+					// into the shadow plus fan-out to subscribers.
+					tr.Record(obs.Span{
+						Name: "broker " + m.Field, Cat: "dist", Ph: obs.PhaseComplete,
+						TS: brokerFrom, Dur: tr.Now() - brokerFrom,
+						Age: m.Age, Trace: m.Trace, Flow: obs.FlowStep,
+					})
 				}
 			case MDone:
 				if err := shadow.InjectRemoteDone(m.Kernel, m.Age); err != nil {
@@ -278,6 +349,15 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 				status[in.from] = *m
 				statusSeen[in.from] = true
 				cfg.View.updateWorker(in.from, m.Idle, m.Sent, m.Received, m.Metrics)
+			case MTrace:
+				traces = append(traces, obs.NodeTrace{
+					Node:        ids[in.from],
+					PID:         in.from + 2, // pid 1 is the master's lane
+					StartUnixNs: m.TraceStartNs,
+					OffsetNs:    offsets[in.from],
+					Dropped:     m.TraceDropped,
+					Spans:       m.Spans,
+				})
 			case MReport:
 				reports[ids[in.from]] = m.Report
 				cfg.View.workerDone(in.from, m.Report)
@@ -305,6 +385,15 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 			if stableRounds >= 2 {
 				stopSent = true
 				for _, c := range conns {
+					// Pull span buffers before the stop: per-connection
+					// FIFO ordering guarantees each MTrace reply arrives
+					// before its MReport, so report collection still
+					// terminates the loop.
+					if cfg.CollectTraces {
+						if err := c.Send(&Msg{Kind: MTraceReq}); err != nil {
+							return fail(err)
+						}
+					}
 					if err := c.Send(&Msg{Kind: MStopReq}); err != nil {
 						return fail(err)
 					}
@@ -313,7 +402,7 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 			}
 			for i := range conns {
 				statusSeen[i] = false
-				if err := conns[i].Send(&Msg{Kind: MPing}); err != nil {
+				if err := conns[i].Send(&Msg{Kind: MPing, SentNs: time.Now().UnixNano()}); err != nil {
 					return fail(err)
 				}
 			}
@@ -328,10 +417,18 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 		c.Close()
 	}
 	cfg.View.setPhase("done")
+	clockOffsets := map[string]int64{}
+	if observed {
+		for i, id := range ids {
+			clockOffsets[id] = offsets[i]
+		}
+	}
 	return &MasterResult{
-		Assignment: kernelNode,
-		Cost:       cost,
-		Reports:    reports,
-		Shadow:     shadow,
+		Assignment:   kernelNode,
+		Cost:         cost,
+		Reports:      reports,
+		Shadow:       shadow,
+		Traces:       traces,
+		ClockOffsets: clockOffsets,
 	}, nil
 }

@@ -26,6 +26,10 @@ const (
 	MSnapshot                   // worker → master: field generation contents
 	MError                      // either direction: fatal error
 	MStoreFrame                 // worker ↔ master: a batched store-notice frame (forwarded raw)
+	MClockProbe                 // master → worker: clock-offset probe (handshake, Cristian-style)
+	MClockEcho                  // worker → master: probe echo with the worker's clock reading
+	MTraceReq                   // master → worker: send your span buffer (shutdown)
+	MTrace                      // worker → master: span buffer + trace alignment data
 )
 
 // String returns the lifecycle name of the message kind, for handshake and
@@ -58,6 +62,14 @@ func (k MsgKind) String() string {
 		return "MError"
 	case MStoreFrame:
 		return "MStoreFrame"
+	case MClockProbe:
+		return "MClockProbe"
+	case MClockEcho:
+		return "MClockEcho"
+	case MTraceReq:
+		return "MTraceReq"
+	case MTrace:
+		return "MTrace"
 	}
 	return "MsgKind(" + strconv.Itoa(int(k)) + ")"
 }
@@ -81,8 +93,39 @@ type Msg struct {
 
 	// MStoreFrame: a whole-generation batch of store notices encoded by
 	// runtime.StoreFrame. Field and Age mirror the frame header so the
-	// master broker routes by subscription without decoding the payload.
+	// master broker routes by subscription without decoding the payload;
+	// Trace mirrors the frame's causal trace id (0 when tracing is off).
 	Frame []byte
+	Trace uint64
+
+	// SentNs is the sender's wall clock (UnixNano) when the message was
+	// handed to the transport. Stamped only on freshly allocated messages —
+	// the broker forwards messages by pointer, so forwarded envelopes keep
+	// the original stamp. The master interprets it on every worker message
+	// (workers allocate all their sends); workers interpret it only on
+	// MPing, the one inbound kind the master always allocates itself.
+	SentNs int64
+
+	// MClockEcho: the worker's clock (UnixNano) at echo time; SentNs echoes
+	// the probe's stamp so the master matches probe to reply.
+	NodeNs int64
+
+	// MStart: the worker's estimated clock offset (worker clock minus
+	// master clock, nanoseconds) measured during the handshake; Synced
+	// reports whether an estimate was made at all.
+	OffsetNs int64
+	Synced   bool
+
+	// MAssign: the master will pull span buffers at shutdown
+	// (CollectTraces), so a worker without its own tracer should create
+	// one — cluster tracing needs only the master's -trace flag.
+	TraceOn bool
+
+	// MTrace: the worker's span buffer with its alignment data (see
+	// obs.NodeTrace).
+	Spans        []obs.Span
+	TraceStartNs int64
+	TraceDropped int64
 
 	// MDone
 	Kernel string

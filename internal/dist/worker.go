@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -79,19 +80,42 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 		return nil, err
 	}
 
-	assign, err := conn.Recv()
-	if err != nil || assign.Kind != MAssign {
-		return nil, handshakeErr("assignment", assign, err)
+	// An observed master interleaves clock probes between registration and
+	// assignment; answer them with this node's clock until the assignment
+	// arrives (unobserved masters send none).
+	var assign *Msg
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return nil, handshakeErr("assignment", m, err)
+		}
+		if m.Kind == MClockProbe {
+			if err := conn.Send(&Msg{Kind: MClockEcho, SentNs: m.SentNs, NodeNs: time.Now().UnixNano()}); err != nil {
+				return nil, fmt.Errorf("dist: answering clock probe: %w", err)
+			}
+			continue
+		}
+		assign = m
+		break
+	}
+	if assign.Kind != MAssign {
+		return nil, handshakeErr("assignment", assign, nil)
+	}
+	if assign.TraceOn && cfg.Tracer == nil {
+		// The master will pull span buffers at shutdown; give it something
+		// to pull even when this worker wasn't started with -trace.
+		cfg.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
 	}
 	prog := cfg.Prog
 	if prog == nil {
 		if cfg.Factory == nil {
 			return nil, fmt.Errorf("dist: worker has neither a program nor a factory")
 		}
-		prog, err = cfg.Factory(assign.Spec)
+		built, err := cfg.Factory(assign.Spec)
 		if err != nil {
 			return nil, fmt.Errorf("dist: building program %q: %w", assign.Spec, err)
 		}
+		prog = built
 	}
 	if cfg.KernelMaxAge == nil && cfg.BoundsFactory != nil {
 		cfg.KernelMaxAge = cfg.BoundsFactory(assign.Spec)
@@ -111,6 +135,9 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 	var sent, received atomic.Int64
 	sendErr := make(chan error, 1)
 	send := func(m *Msg) {
+		// Every message through here is freshly allocated, so stamping is
+		// race-free; the master turns the stamp into a flight measurement.
+		m.SentNs = time.Now().UnixNano()
 		if err := conn.Send(m); err != nil {
 			select {
 			case sendErr <- err:
@@ -141,11 +168,19 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 	// The store batcher coalesces per-row notices into whole-generation
 	// MStoreFrame messages; it is flushed before every MDone (keeping the
 	// per-origin stores-before-done order) and on every ping (bounding how
-	// long an incomplete generation can sit unsent).
+	// long an incomplete generation can sit unsent). With a tracer it also
+	// stamps each frame with a causal trace id and records the emit span.
 	var batcher *storeBatcher
 	if !cfg.DisableFrames {
-		batcher = newStoreBatcher(send, reg)
+		batcher = newStoreBatcher(send, reg, cfg.NodeID, cfg.Tracer)
 	}
+
+	// Flight accounting: master-stamped pings measured against this node's
+	// clock, corrected by the handshake's offset estimate. The baseline
+	// projects only this run's flight time into the report (the registry
+	// may be shared across runs).
+	hFlight := reg.Histogram(obs.MStageFlightNs)
+	flightBase := hFlight.SumNs()
 
 	node, err := runtime.NewNode(prog, runtime.Options{
 		Workers:       cfg.Cores,
@@ -187,6 +222,9 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 		node.Release()
 		return nil, handshakeErr("start", start, err)
 	}
+	// Clock-sync result: offset is this node's clock minus the master's, so
+	// master-equivalent local time is local − offset.
+	clockOffset, synced := start.OffsetNs, start.Synced
 
 	runDone := make(chan struct{})
 	var rep *runtime.Report
@@ -259,10 +297,20 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 			}
 		case MStoreFrame:
 			received.Add(1)
+			injectFrom := cfg.Tracer.Now()
 			if err := node.InjectStoreFrame(m.Frame); err != nil {
 				send(&Msg{Kind: MError, Err: err.Error()})
 				teardown()
 				return rep, err
+			}
+			if tr := cfg.Tracer; tr != nil {
+				// Terminal hop of the frame's causal trace: the remote
+				// generation lands in this node's field replica.
+				tr.Record(obs.Span{
+					Name: "inject " + m.Field, Cat: "dist", Ph: obs.PhaseComplete,
+					TS: injectFrom, Dur: tr.Now() - injectFrom,
+					Age: m.Age, Trace: m.Trace, Flow: obs.FlowFinish,
+				})
 			}
 		case MDone:
 			received.Add(1)
@@ -272,9 +320,29 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 				return rep, err
 			}
 		case MPing:
+			if synced && m.SentNs != 0 {
+				// Master→worker flight: the ping's master-clock stamp
+				// against local time rebased to the master clock. Clamped
+				// at zero (the offset estimate has RTT/2 error).
+				flight := (time.Now().UnixNano() - clockOffset) - m.SentNs
+				if flight < 0 {
+					flight = 0
+				}
+				hFlight.Observe(time.Duration(flight))
+			}
 			batcher.flushAll()
 			updateTransport()
 			send(&Msg{Kind: MStatus, Idle: node.Idle(), Sent: sent.Load(), Received: received.Load(), Metrics: reg.Snapshot()})
+		case MTraceReq:
+			// Ship the span buffer with its alignment anchor; an untraced
+			// node replies with an empty bundle so the master's collection
+			// logic needs no special case.
+			send(&Msg{
+				Kind:         MTrace,
+				Spans:        cfg.Tracer.Spans(),
+				TraceStartNs: cfg.Tracer.StartUnixNs(),
+				TraceDropped: cfg.Tracer.Dropped(),
+			})
 		case MSnapshotReq:
 			arr, err := node.Snapshot(m.Field, m.Age)
 			if err != nil {
@@ -295,6 +363,9 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 				rep.RecvMsgs = st.RecvMsgs
 				rep.SentBytes = st.SentBytes
 				rep.RecvBytes = st.RecvBytes
+				if rep.Stages != nil {
+					rep.Stages.FlightNs = hFlight.SumNs() - flightBase
+				}
 			}
 			send(&Msg{Kind: MReport, Report: rep})
 			// Release only after the report is out: a long-lived worker

@@ -18,6 +18,7 @@ import (
 	"io"
 	"math/bits"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -105,6 +106,17 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketOf(d)].Add(1)
 	h.count.Add(1)
 	h.sumNs.Add(d.Nanoseconds())
+}
+
+// Overflow returns how many observations landed in the catch-all last
+// bucket (value >= 2^26 µs). A non-zero overflow means quantile estimates
+// above it are mean-based; /statusz surfaces the total so the skew is
+// visible. Zero on a nil receiver.
+func (h *Histogram) Overflow() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.buckets[histBuckets-1].Load()
 }
 
 // Count returns the number of observations; zero on a nil receiver.
@@ -354,6 +366,139 @@ func (s *MetricsSnapshot) WriteText(w io.Writer) error {
 // MetricsSnapshot.WriteText).
 func (r *Registry) WriteText(w io.Writer) error { return r.Snapshot().WriteText(w) }
 
+// OverflowTotal sums the catch-all bucket counts of every histogram in the
+// snapshot: the number of observations recorded but too large to place in a
+// bounded bucket.
+func (s *MetricsSnapshot) OverflowTotal() int64 {
+	if s == nil {
+		return 0
+	}
+	var total int64
+	for _, h := range s.Histograms {
+		if n := len(h.Buckets); n > 0 {
+			total += h.Buckets[n-1]
+		}
+	}
+	return total
+}
+
+// promName splits a flat registry name into its Prometheus base name and
+// label pairs: `kernel_time_ns_total{kernel="dct"}` -> ("kernel_time_ns_total",
+// `kernel="dct"`). Suffixes (_bucket, _sum, ...) are then spliced before the
+// brace by the writer.
+func promName(full string) (base, labels string) {
+	i := strings.IndexByte(full, '{')
+	if i < 0 {
+		return full, ""
+	}
+	base = full[:i]
+	labels = strings.TrimSuffix(strings.TrimPrefix(full[i:], "{"), "}")
+	return base, labels
+}
+
+// promLine renders one sample line, re-homing the metric-family labels (and
+// an optional extra label, used for `le`) inside the braces after suffix.
+func promLine(w io.Writer, base, suffix, labels, extra string, value string) error {
+	name := base + suffix
+	switch {
+	case labels == "" && extra == "":
+		_, err := fmt.Fprintf(w, "%s %s\n", name, value)
+		return err
+	case labels == "":
+		_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, extra, value)
+		return err
+	case extra == "":
+		_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s{%s,%s} %s\n", name, labels, extra, value)
+		return err
+	}
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): `# TYPE` headers per metric family, labels inside
+// braces, histogram buckets cumulative with `le` upper bounds in seconds.
+// Metric families are emitted sorted by name so scrapes diff cleanly.
+func (s *MetricsSnapshot) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		_, err := io.WriteString(w, "# metrics disabled\n")
+		return err
+	}
+	// Group samples by family so each gets exactly one TYPE header.
+	families := map[string]string{} // base -> prometheus type
+	members := map[string][]string{}
+	for k := range s.Counters {
+		base, _ := promName(k)
+		families[base] = "counter"
+		members[base] = append(members[base], k)
+	}
+	for k := range s.Gauges {
+		base, _ := promName(k)
+		families[base] = "gauge"
+		members[base] = append(members[base], k)
+	}
+	for k := range s.Histograms {
+		base, _ := promName(k)
+		families[base] = "histogram"
+		members[base] = append(members[base], k)
+	}
+	bases := make([]string, 0, len(families))
+	for b := range families {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, families[base]); err != nil {
+			return err
+		}
+		ms := members[base]
+		sort.Strings(ms)
+		for _, full := range ms {
+			_, labels := promName(full)
+			switch families[base] {
+			case "counter":
+				if err := promLine(w, base, "", labels, "", fmt.Sprintf("%d", s.Counters[full])); err != nil {
+					return err
+				}
+			case "gauge":
+				if err := promLine(w, base, "", labels, "", fmt.Sprintf("%d", s.Gauges[full])); err != nil {
+					return err
+				}
+			case "histogram":
+				h := s.Histograms[full]
+				var cum int64
+				for i, n := range h.Buckets {
+					cum += n
+					le := "+Inf"
+					if b := BucketBoundUS(i); b >= 0 {
+						le = strconv.FormatFloat(float64(b)/1e6, 'g', -1, 64)
+					}
+					if err := promLine(w, base, "_bucket", labels, `le="`+le+`"`, fmt.Sprintf("%d", cum)); err != nil {
+						return err
+					}
+				}
+				if len(h.Buckets) == 0 { // empty histogram still needs +Inf
+					if err := promLine(w, base, "_bucket", labels, `le="+Inf"`, "0"); err != nil {
+						return err
+					}
+				}
+				if err := promLine(w, base, "_sum", labels, "", strconv.FormatFloat(float64(h.SumNs)/1e9, 'g', -1, 64)); err != nil {
+					return err
+				}
+				if err := promLine(w, base, "_count", labels, "", fmt.Sprintf("%d", h.Count)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the registry's current values in Prometheus text
+// exposition format (see MetricsSnapshot.WritePrometheus).
+func (r *Registry) WritePrometheus(w io.Writer) error { return r.Snapshot().WritePrometheus(w) }
+
 // Canonical metric names used across the runtime, distributed layer and
 // scheduler. Per-kernel metrics attach the kernel name with Label(...,
 // "kernel", name).
@@ -388,4 +533,16 @@ const (
 	MDistFramesTotal     = "dist_frames_total"       // counter: store frames emitted
 	MDistFrameBytesTotal = "dist_frame_bytes_total"  // counter: encoded frame payload bytes
 	MDistFrameStores     = "dist_frame_stores_total" // counter: store notices carried inside frames
+
+	// Stage timers: the fixed per-instance latency decomposition the
+	// attribution report is built on (ISSUE 6 / paper §VIII-B). The first
+	// five are per-kernel histograms (attach Label(..., "kernel", name));
+	// idle is per node, flight per connection direction.
+	MStageReadyWaitNs = "stage_ready_wait_ns" // histogram per kernel: instance created -> dependencies satisfied (analyzer-ready wait)
+	MStageQueueWaitNs = "stage_queue_wait_ns" // histogram per kernel: ready -> a worker picks the instance up
+	MStageFetchNs     = "stage_fetch_ns"      // histogram per kernel: context construction + fetches
+	MStageExecNs      = "stage_exec_ns"       // histogram per kernel: kernel body
+	MStageStoreNs     = "stage_store_ns"      // histogram per kernel: store application + event emission
+	MStageIdleNs      = "stage_idle_ns"       // histogram per node: worker blocked waiting for ready work
+	MStageFlightNs    = "stage_flight_ns"     // histogram: dist message send -> receive (clock-offset corrected)
 )

@@ -5,15 +5,22 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"sync"
 	"time"
 )
 
 // Server exposes live introspection endpoints over HTTP:
 //
-//	/metricz  flat text dump of the metrics registry
-//	/statusz  JSON snapshot from the status callback (node or cluster view)
-//	/tracez   Chrome trace_event JSON dump of the tracer ring
+//	/metricz      flat text dump of the metrics registry; Prometheus text
+//	              exposition with ?format=prometheus or an Accept header
+//	              asking for it (content negotiation)
+//	/statusz      JSON snapshot from the status callback (node or cluster
+//	              view), augmented with an "obs" health section (trace-ring
+//	              drops, histogram overflow)
+//	/tracez       Chrome trace_event JSON dump of the tracer ring
+//	/debug/pprof  the standard net/http/pprof profiler endpoints
 //
 // Start and Stop are idempotent-guarded: a second Start fails, a Stop
 // before Start or a second Stop is a no-op, and Stop does not return until
@@ -59,6 +66,13 @@ func (s *Server) Start() error {
 	mux.HandleFunc("/metricz", s.handleMetricz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/tracez", s.handleTracez)
+	// The server runs on its own mux (never http.DefaultServeMux), so the
+	// pprof handlers must be mounted explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.ln = ln
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s.done = make(chan struct{})
@@ -97,9 +111,42 @@ func (s *Server) Stop() {
 	<-done
 }
 
-func (s *Server) handleMetricz(w http.ResponseWriter, _ *http.Request) {
+// wantsPrometheus decides the /metricz output format: explicit
+// ?format=prometheus wins, otherwise an Accept header naming the Prometheus
+// or OpenMetrics text exposition selects it.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "openmetrics":
+		return true
+	case "text", "flat":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/openmetrics-text") ||
+		strings.Contains(accept, "version=0.0.4")
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.reg.Snapshot().WriteText(w)
+	snap.WriteText(w)
+}
+
+// obsHealth reports the observability layer's own data-loss indicators, so
+// silent span eviction or histogram overflow shows up on /statusz instead of
+// skewing analyses invisibly.
+func (s *Server) obsHealth() map[string]any {
+	h := map[string]any{
+		"trace_spans":        s.tracer.Len(),
+		"trace_dropped":      s.tracer.Dropped(),
+		"histogram_overflow": s.reg.Snapshot().OverflowTotal(),
+	}
+	return h
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
@@ -110,6 +157,15 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if v == nil {
 		v = map[string]string{"status": "no status source"}
+	}
+	// Merge the obs health section into the status object when it is one
+	// (keeping the caller's keys at the top level); wrap it otherwise.
+	out := map[string]any{}
+	if raw, err := json.Marshal(v); err == nil && len(raw) > 0 && raw[0] == '{' && json.Unmarshal(raw, &out) == nil {
+		out["obs"] = s.obsHealth()
+		v = out
+	} else {
+		v = map[string]any{"status": v, "obs": s.obsHealth()}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -125,4 +126,219 @@ func TestServerNoGoroutineLeak(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Errorf("goroutines: before=%d after=%d (leak)", before, runtime.NumGoroutine())
+}
+
+// TestMetriczContentNegotiation covers the /metricz dual format: flat
+// name-value text by default, Prometheus exposition when asked for via query
+// parameter or Accept header.
+func TestMetriczContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runtime_dispatches_total").Add(7)
+	reg.Histogram(Label(MStageExecNs, "kernel", "dct")).Observe(3 * time.Millisecond)
+
+	s := NewServer("127.0.0.1:0", reg, nil, nil)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	base := "http://" + s.Addr()
+
+	// Default: flat text.
+	code, body := get(t, base+"/metricz")
+	if code != 200 || !strings.Contains(body, "runtime_dispatches_total 7") {
+		t.Errorf("flat /metricz = %d %q", code, body)
+	}
+	if strings.Contains(body, "# TYPE") {
+		t.Errorf("flat /metricz contains exposition headers:\n%s", body)
+	}
+
+	// ?format=prometheus: exposition text with family headers, cumulative
+	// buckets and seconds units.
+	resp, err := http.Get(base + "/metricz?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body = string(raw)
+	if got := resp.Header.Get("Content-Type"); !strings.Contains(got, "version=0.0.4") {
+		t.Errorf("prometheus Content-Type = %q", got)
+	}
+	for _, want := range []string{
+		"# TYPE runtime_dispatches_total counter",
+		"runtime_dispatches_total 7",
+		"# TYPE stage_exec_ns histogram",
+		`stage_exec_ns_bucket{kernel="dct",le="+Inf"} 1`,
+		`stage_exec_ns_count{kernel="dct"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prometheus /metricz missing %q:\n%s", want, body)
+		}
+	}
+
+	// Accept header negotiation picks the exposition format too.
+	req, _ := http.NewRequest("GET", base+"/metricz", nil)
+	req.Header.Set("Accept", "text/plain; version=0.0.4")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !strings.Contains(string(raw2), "# TYPE runtime_dispatches_total counter") {
+		t.Errorf("Accept-negotiated /metricz not exposition:\n%s", raw2)
+	}
+
+	// ?format=flat forces the plain dump even with an exposition Accept.
+	req3, _ := http.NewRequest("GET", base+"/metricz?format=flat", nil)
+	req3.Header.Set("Accept", "application/openmetrics-text")
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw3, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if strings.Contains(string(raw3), "# TYPE") {
+		t.Errorf("format=flat still produced exposition:\n%s", raw3)
+	}
+}
+
+// TestServerPprof checks the profiler endpoints ride on the guarded obs mux.
+func TestServerPprof(t *testing.T) {
+	s := NewServer("127.0.0.1:0", NewRegistry(), nil, nil)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d %q", code, body)
+	}
+	code, _ = get(t, base+"/debug/pprof/goroutine?debug=1")
+	if code != 200 {
+		t.Errorf("/debug/pprof/goroutine = %d", code)
+	}
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+// TestStatuszObsHealth checks the server merges its own health block — span
+// counts, drop counts, histogram overflow — into the caller's status object.
+func TestStatuszObsHealth(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_ns")
+	h.Observe(time.Duration(1) << 40) // beyond the last bucket: overflow
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(Span{Name: "s", Ph: PhaseComplete, TS: int64(i), Dur: 1})
+	}
+	s := NewServer("127.0.0.1:0", reg, tr, func() any {
+		return map[string]any{"phase": "running"}
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	code, body := get(t, "http://"+s.Addr()+"/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var st struct {
+		Phase string `json:"phase"`
+		Obs   struct {
+			TraceSpans        int64 `json:"trace_spans"`
+			TraceDropped      int64 `json:"trace_dropped"`
+			HistogramOverflow int64 `json:"histogram_overflow"`
+		} `json:"obs"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	if st.Phase != "running" {
+		t.Errorf("caller status clobbered: %s", body)
+	}
+	if st.Obs.TraceSpans != 2 {
+		t.Errorf("trace_spans = %d, want 2 (ring capacity)", st.Obs.TraceSpans)
+	}
+	if st.Obs.TraceDropped != 3 {
+		t.Errorf("trace_dropped = %d, want 3", st.Obs.TraceDropped)
+	}
+	if st.Obs.HistogramOverflow != 1 {
+		t.Errorf("histogram_overflow = %d, want 1", st.Obs.HistogramOverflow)
+	}
+}
+
+// TestServerConcurrentScrape hammers every endpoint while a writer keeps the
+// registry and tracer hot; under -race this is the data-race check for the
+// whole introspection surface.
+func TestServerConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(64)
+	s := NewServer("127.0.0.1:0", reg, tr, func() any {
+		return map[string]any{"phase": "running"}
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	base := "http://" + s.Addr()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: counters, labeled histograms, spans
+		defer wg.Done()
+		h := reg.Histogram(Label(MStageExecNs, "kernel", "k"))
+		c := reg.Counter("runtime_dispatches_total")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Inc()
+			h.Observe(time.Duration(i%1000) * time.Microsecond)
+			tr.Record(Span{Name: "k", Ph: PhaseComplete, TS: int64(i), Dur: 2})
+		}
+	}()
+
+	urls := []string{
+		base + "/metricz",
+		base + "/metricz?format=prometheus",
+		base + "/statusz",
+		base + "/tracez",
+		base + "/debug/pprof/goroutine?debug=1",
+	}
+	for _, u := range urls {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if code, _ := get(t, u); code != 200 {
+					t.Errorf("%s = %d", u, code)
+					return
+				}
+			}
+		}(u)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// Scrapers finish, then the writer is told to stop.
+	time.AfterFunc(5*time.Second, func() { close(stop) })
+	for i := 0; i < 5; i++ {
+		if code, _ := get(t, base+"/metricz"); code != 200 {
+			t.Fatalf("scrape %d failed", i)
+		}
+	}
+	select {
+	case <-stop:
+	default:
+		close(stop)
+	}
+	<-done
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -12,6 +13,15 @@ import (
 const (
 	PhaseComplete = 'X' // a kernel-instance dispatch with a duration
 	PhaseInstant  = 'i' // a lifecycle tick (commit, kernel-age done)
+)
+
+// Flow roles for spans that participate in a cross-node causal trace: a
+// store frame's journey worker→broker→worker is stitched into one Chrome
+// flow arrow by tagging the emitting, forwarding and injecting spans.
+const (
+	FlowStart  = 's' // origin of the causal chain (frame emitted)
+	FlowStep   = 't' // intermediate hop (master broker forward)
+	FlowFinish = 'f' // terminal hop (frame injected at the destination)
 )
 
 // Span is one recorded kernel-instance lifecycle event. A complete span
@@ -33,6 +43,12 @@ type Span struct {
 	FetchNs  int64 // context construction + fetches
 	KernelNs int64 // kernel body
 	StoreNs  int64 // store application + event emission
+
+	// Causal trace linkage (cross-node store frames). Trace is the frame's
+	// cluster-unique id (0 = not part of a flow); Flow tags this span's
+	// role in the chain (FlowStart/FlowStep/FlowFinish, 0 = none).
+	Trace uint64
+	Flow  byte
 }
 
 // Tracer records Spans into a bounded ring buffer: when full, the oldest
@@ -81,6 +97,34 @@ func (t *Tracer) Now() int64 {
 		return 0
 	}
 	return time.Since(t.start).Nanoseconds()
+}
+
+// StartTime returns the wall-clock instant the tracer started (its TS==0
+// origin); the zero time on a nil receiver.
+func (t *Tracer) StartTime() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// StartUnixNs returns the tracer's start instant as UnixNano, the anchor
+// merged cluster traces align node timelines with. Zero on a nil receiver.
+func (t *Tracer) StartUnixNs() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.start.UnixNano()
+}
+
+// Len returns the number of spans currently retained in the ring.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
 }
 
 // Since converts a wall-clock instant into tracer-relative nanoseconds.
@@ -148,7 +192,9 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
-	S    string         `json:"s,omitempty"` // instant-event scope
+	S    string         `json:"s,omitempty"`  // instant-event scope
+	ID   string         `json:"id,omitempty"` // flow-event binding id
+	BP   string         `json:"bp,omitempty"` // flow binding point ("e" = enclosing slice)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -171,6 +217,58 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	return bw.Flush()
 }
 
+// appendSpanEvents converts one span into trace_event form and appends it to
+// dst: the slice or instant event itself, plus a flow event when the span is
+// tagged as a causal-chain endpoint. tsUS is the event timestamp on the
+// output timeline in microseconds (the caller owns clock alignment).
+func appendSpanEvents(dst []chromeEvent, s Span, pid int, tsUS float64) []chromeEvent {
+	ev := chromeEvent{
+		Name: s.Name,
+		Cat:  s.Cat,
+		Ph:   string(rune(s.Ph)),
+		TS:   tsUS,
+		PID:  pid,
+		TID:  s.TID,
+		Args: map[string]any{"age": s.Age},
+	}
+	if len(s.Index) > 0 {
+		ev.Args["index"] = s.Index
+	}
+	switch s.Ph {
+	case PhaseComplete:
+		ev.Dur = float64(s.Dur) / 1e3
+		ev.Args["wait_us"] = float64(s.WaitNs) / 1e3
+		ev.Args["fetch_us"] = float64(s.FetchNs) / 1e3
+		ev.Args["kernel_us"] = float64(s.KernelNs) / 1e3
+		ev.Args["store_us"] = float64(s.StoreNs) / 1e3
+	case PhaseInstant:
+		ev.S = "t" // thread-scoped tick
+	}
+	if s.Trace != 0 {
+		ev.Args["trace"] = strconv.FormatUint(s.Trace, 16)
+	}
+	dst = append(dst, ev)
+	if s.Trace != 0 && s.Flow != 0 {
+		// Flow events with the same cat/name/id draw one causal arrow
+		// across processes; placing them mid-slice keeps the binding
+		// inside the slice's duration.
+		fl := chromeEvent{
+			Name: "frame",
+			Cat:  "dist.flow",
+			Ph:   string(rune(s.Flow)),
+			TS:   tsUS + ev.Dur/2,
+			PID:  pid,
+			TID:  s.TID,
+			ID:   strconv.FormatUint(s.Trace, 16),
+		}
+		if s.Flow == FlowFinish {
+			fl.BP = "e" // bind to the enclosing slice, not the next one
+		}
+		dst = append(dst, fl)
+	}
+	return dst
+}
+
 func (t *Tracer) chromeFile() chromeTraceFile {
 	spans := t.Spans()
 	f := chromeTraceFile{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
@@ -179,29 +277,74 @@ func (t *Tracer) chromeFile() chromeTraceFile {
 		pid = t.pid
 	}
 	for _, s := range spans {
-		ev := chromeEvent{
-			Name: s.Name,
-			Cat:  s.Cat,
-			Ph:   string(rune(s.Ph)),
-			TS:   float64(s.TS) / 1e3,
-			PID:  pid,
-			TID:  s.TID,
-			Args: map[string]any{"age": s.Age},
-		}
-		if len(s.Index) > 0 {
-			ev.Args["index"] = s.Index
-		}
-		switch s.Ph {
-		case PhaseComplete:
-			ev.Dur = float64(s.Dur) / 1e3
-			ev.Args["wait_us"] = float64(s.WaitNs) / 1e3
-			ev.Args["fetch_us"] = float64(s.FetchNs) / 1e3
-			ev.Args["kernel_us"] = float64(s.KernelNs) / 1e3
-			ev.Args["store_us"] = float64(s.StoreNs) / 1e3
-		case PhaseInstant:
-			ev.S = "t" // thread-scoped tick
-		}
-		f.TraceEvents = append(f.TraceEvents, ev)
+		f.TraceEvents = appendSpanEvents(f.TraceEvents, s, pid, float64(s.TS)/1e3)
 	}
 	return f
+}
+
+// NodeTrace bundles one node's span buffer with the alignment data needed to
+// merge it into a cluster-wide trace: the tracer's wall-clock start on that
+// node's own clock, and the node's estimated clock offset relative to the
+// reference (master) clock as measured during the dist handshake.
+type NodeTrace struct {
+	Node        string // display name ("master", worker id)
+	PID         int    // Chrome-trace process lane
+	StartUnixNs int64  // tracer start, UnixNano on the node's own clock
+	OffsetNs    int64  // node clock minus reference clock (0 = reference/unsynced)
+	Dropped     int64  // spans evicted from the node's ring
+	Spans       []Span
+}
+
+// NodeTrace snapshots this tracer as a mergeable bundle. Safe on a nil
+// receiver (returns an empty bundle carrying only the name and pid).
+func (t *Tracer) NodeTrace(node string, pid int) NodeTrace {
+	return NodeTrace{
+		Node:        node,
+		PID:         pid,
+		StartUnixNs: t.StartUnixNs(),
+		Dropped:     t.Dropped(),
+		Spans:       t.Spans(),
+	}
+}
+
+// WriteMergedChromeTrace merges span bundles from several nodes into one
+// Chrome trace_event file on a common timeline: each node's timestamps are
+// rebased to the reference clock (UnixNano − OffsetNs), the earliest tracer
+// start across nodes becomes t=0, and each node gets its own pid lane with a
+// process_name metadata record. Spans tagged with a Trace id emit flow
+// events, so a frame's worker→broker→worker journey renders as one arrow.
+func WriteMergedChromeTrace(w io.Writer, nodes []NodeTrace) error {
+	var base int64
+	haveBase := false
+	for _, n := range nodes {
+		if len(n.Spans) == 0 {
+			continue
+		}
+		ref := n.StartUnixNs - n.OffsetNs
+		if !haveBase || ref < base {
+			base, haveBase = ref, true
+		}
+	}
+	f := chromeTraceFile{DisplayTimeUnit: "ms"}
+	for _, n := range nodes {
+		if len(n.Spans) == 0 {
+			continue
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  n.PID,
+			Args: map[string]any{"name": n.Node},
+		})
+		start := n.StartUnixNs - n.OffsetNs - base
+		for _, s := range n.Spans {
+			f.TraceEvents = appendSpanEvents(f.TraceEvents, s, n.PID, float64(start+s.TS)/1e3)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(f); err != nil {
+		return err
+	}
+	return bw.Flush()
 }

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -343,9 +344,12 @@ func (an *analyzer) createInstance(t *ageTracker, coords []int) {
 	if an.n.tracer == nil {
 		is = instPool.Get().(*instState)
 		is.coords = append(is.coords[:0], coords...)
-		is.mask, is.st, is.readyNs = 0, instWaiting, 0
+		is.mask, is.st, is.readyNs, is.createdNs = 0, instWaiting, 0, 0
 	} else {
 		is = &instState{coords: append([]int(nil), coords...)}
+	}
+	if an.n.stamp {
+		is.createdNs = an.n.nowNs()
 	}
 	t.inst[coordKey(coords)] = is
 	t.total++
@@ -384,8 +388,9 @@ func (an *analyzer) setBit(t *ageTracker, is *instState, bit uint32) {
 	}
 	if is.mask == t.ks.fullMask {
 		is.st = instQueued
-		if tr := an.n.tracer; tr != nil {
-			is.readyNs = tr.Now()
+		if an.n.stamp {
+			is.readyNs = an.n.nowNs()
+			t.ks.stageReady.Observe(time.Duration(is.readyNs - is.createdNs))
 		}
 		t.pending = append(t.pending, is)
 		an.dirty[t] = struct{}{}

@@ -10,7 +10,7 @@ import (
 // benchNode builds a one-kernel node whose input element is pre-stored, so
 // exec can be driven directly: this isolates the dispatch fast path (frame
 // checkout, plan-driven fetch, body, event emission) from the analyzer.
-func benchNode(b *testing.B, indexed bool) (*Node, *ageTracker, *instState) {
+func benchNode(b testing.TB, indexed bool) (*Node, *ageTracker, *instState) {
 	b.Helper()
 	pb := core.NewBuilder("bench")
 	pb.Field("in", field.Int32, 1, true)

@@ -163,7 +163,22 @@ type Node struct {
 	gBacklog      *obs.Gauge
 	gFieldMem     *obs.Gauge
 	gOutstand     *obs.Gauge
+
+	// Stage-timer clock: instance lifecycle stamps (createdNs, readyNs) are
+	// nanoseconds since clock. When tracing is on, clock is the tracer's
+	// start so stamps double as span timestamps; stamp gates the stamping
+	// work entirely (false = tracing and stage metrics both off, the
+	// allocation-free zero-overhead path).
+	clock time.Time
+	stamp bool
+	// hIdle accumulates per-worker blocked-on-empty-queue time; together
+	// with the per-kernel busy stages it makes attribution sum to the run's
+	// worker-seconds (Report.Stages).
+	hIdle histWithBase
 }
+
+// nowNs returns nanoseconds since the node's stage clock.
+func (n *Node) nowNs() int64 { return time.Since(n.clock).Nanoseconds() }
 
 // lockedWriter serializes kernel Printf output from concurrent workers.
 type lockedWriter struct {
@@ -199,6 +214,14 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 		reg:     opts.Metrics,
 		tracer:  opts.Tracer,
 	}
+	// Stage stamps share the tracer's clock when tracing, so readyNs feeds
+	// both span wait times and the ready-wait histogram consistently.
+	if opts.Tracer != nil {
+		n.clock = opts.Tracer.StartTime()
+	} else {
+		n.clock = time.Now()
+	}
+	n.stamp = opts.Tracer != nil || opts.Metrics != nil
 	var gWorkerDepth []*obs.Gauge
 	if n.reg == nil {
 		// Private registry: the per-kernel counters always live in a
@@ -206,6 +229,7 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 		// node metrics below stay disabled (nil handles are no-ops).
 		n.reg = obs.NewRegistry()
 	} else {
+		n.hIdle = newHistBase(n.reg.Histogram(obs.MStageIdleNs))
 		n.mDispatches = n.reg.Counter(obs.MDispatchesTotal)
 		n.hFetch = n.reg.Histogram(obs.MFetchNs)
 		n.hKernel = n.reg.Histogram(obs.MKernelNs)
@@ -250,6 +274,13 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 			dispatchNs: newBaselined(n.reg.Counter(obs.Label(obs.MKernelDispatchNs, "kernel", kd.Name))),
 			kernelNs:   newBaselined(n.reg.Counter(obs.Label(obs.MKernelTimeNs, "kernel", kd.Name))),
 			storeOps:   newBaselined(n.reg.Counter(obs.Label(obs.MKernelStoreOps, "kernel", kd.Name))),
+		}
+		if opts.Metrics != nil {
+			ks.stageReady = newHistBase(n.reg.Histogram(obs.Label(obs.MStageReadyWaitNs, "kernel", kd.Name)))
+			ks.stageQueue = newHistBase(n.reg.Histogram(obs.Label(obs.MStageQueueWaitNs, "kernel", kd.Name)))
+			ks.stageFetch = newHistBase(n.reg.Histogram(obs.Label(obs.MStageFetchNs, "kernel", kd.Name)))
+			ks.stageExec = newHistBase(n.reg.Histogram(obs.Label(obs.MStageExecNs, "kernel", kd.Name)))
+			ks.stageStore = newHistBase(n.reg.Histogram(obs.Label(obs.MStageStoreNs, "kernel", kd.Name)))
 		}
 		if g, ok := opts.Granularity[kd.Name]; ok && g > 0 {
 			ks.gran = g
@@ -600,7 +631,16 @@ func (n *Node) worker(id int) {
 		b, ok := n.sched.TryPop(id)
 		if !ok {
 			w.flush()
-			if b, ok = n.sched.Pop(id); !ok {
+			if n.hIdle.enabled() {
+				// Blocked on an empty queue: the idle stage of the
+				// attribution report (worker-seconds not spent dispatching).
+				idleFrom := time.Now()
+				b, ok = n.sched.Pop(id)
+				n.hIdle.Observe(time.Since(idleFrom))
+			} else {
+				b, ok = n.sched.Pop(id)
+			}
+			if !ok {
 				return
 			}
 		}
@@ -737,21 +777,29 @@ func (n *Node) exec(t *ageTracker, is *instState, w *workerState) {
 	n.hFetch.Observe(t1.Sub(t0))
 	n.hKernel.Observe(t2.Sub(t1))
 	n.hStore.Observe(t3.Sub(t2))
-	if tr := n.tracer; tr != nil {
-		ts := tr.Since(t0)
+	if n.stamp {
+		// t0 on the node's stage clock; with tracing on this equals the
+		// span timestamp, so queue wait is identical in both views.
+		ts := t0.Sub(n.clock).Nanoseconds()
 		wait := int64(0)
 		if is.readyNs > 0 && ts > is.readyNs {
 			wait = ts - is.readyNs
 		}
-		tr.Record(obs.Span{
-			Name: kd.Name, Cat: "kernel", Ph: obs.PhaseComplete,
-			TS: ts, Dur: t3.Sub(t0).Nanoseconds(), TID: w.id + 1,
-			Age: t.age, Index: is.coords,
-			WaitNs:   wait,
-			FetchNs:  t1.Sub(t0).Nanoseconds(),
-			KernelNs: t2.Sub(t1).Nanoseconds(),
-			StoreNs:  t3.Sub(t2).Nanoseconds(),
-		})
+		ks.stageQueue.Observe(time.Duration(wait))
+		ks.stageFetch.Observe(t1.Sub(t0))
+		ks.stageExec.Observe(t2.Sub(t1))
+		ks.stageStore.Observe(t3.Sub(t2))
+		if tr := n.tracer; tr != nil {
+			tr.Record(obs.Span{
+				Name: kd.Name, Cat: "kernel", Ph: obs.PhaseComplete,
+				TS: ts, Dur: t3.Sub(t0).Nanoseconds(), TID: w.id + 1,
+				Age: t.age, Index: is.coords,
+				WaitNs:   wait,
+				FetchNs:  t1.Sub(t0).Nanoseconds(),
+				KernelNs: t2.Sub(t1).Nanoseconds(),
+				StoreNs:  t3.Sub(t2).Nanoseconds(),
+			})
+		}
 	}
 
 	w.emit(event{isDone: true, t: t, inst: is, stores: stores, stopped: ctx.Stopped()})

@@ -1,0 +1,7 @@
+//go:build race
+
+package runtime
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// assertions skip under it because instrumentation allocates.
+const raceEnabled = true

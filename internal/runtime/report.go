@@ -71,6 +71,77 @@ type Report struct {
 	RecvMsgs  int64
 	SentBytes int64
 	RecvBytes int64
+
+	// Stages is the per-stage latency attribution (nil unless the node ran
+	// with a caller-supplied metrics registry): where the run's
+	// worker-seconds and instance lifetimes went, decomposed into the fixed
+	// stage model of ISSUE 6 / the paper's §VIII-B analysis.
+	Stages *StageTotals
+}
+
+// StageTotals attributes a run's time to the fixed stage model. Two groups:
+//
+//   - Worker-clock stages (FetchNs, ExecNs, StoreNs, IdleNs): what each
+//     worker goroutine was doing; they sum to ~workers × wall, which is what
+//     Coverage checks.
+//   - Instance-clock stages (ReadyWaitNs, QueueWaitNs, FlightNs): latency an
+//     instance experienced while workers were free to do other things; they
+//     diagnose where pipelines stall (analyzer, scheduler, network) but do
+//     not sum with the worker-clock group.
+type StageTotals struct {
+	// Workers is the worker-goroutine count behind the worker-clock stages
+	// (summed across nodes after MergeReports).
+	Workers int
+
+	ReadyWaitNs int64 // instance created -> dependencies satisfied (analyzer-ready wait)
+	QueueWaitNs int64 // ready -> picked up by a worker (queue wait)
+	FetchNs     int64 // context construction + fetches
+	ExecNs      int64 // kernel bodies
+	StoreNs     int64 // store application + event emission
+	IdleNs      int64 // workers blocked on an empty ready queue
+	FlightNs    int64 // dist messages in flight (clock-offset corrected)
+}
+
+// BusyNs is the dispatching part of the worker-clock stages.
+func (s *StageTotals) BusyNs() int64 { return s.FetchNs + s.ExecNs + s.StoreNs }
+
+// AttributedNs is the total worker-clock time the stage model accounts for.
+func (s *StageTotals) AttributedNs() int64 { return s.BusyNs() + s.IdleNs }
+
+// Coverage reports the fraction of the run's worker-seconds (wall × Workers)
+// the worker-clock stages attribute; close to 1.0 means the stage model
+// explains the run. When Workers exceeds GOMAXPROCS the denominator
+// over-counts the CPU actually available — time a worker spends runnable but
+// descheduled lands in no stage — so coverage is only a tight bound when the
+// host has a core per worker.
+func (s *StageTotals) Coverage(wall time.Duration) float64 {
+	denom := float64(wall.Nanoseconds()) * float64(s.Workers)
+	if denom <= 0 {
+		return 0
+	}
+	return float64(s.AttributedNs()) / denom
+}
+
+// AnalyzerSaturated flags the paper's §VIII-B signature: instances spend far
+// longer waiting for the serial dependency analyzer to mark them ready than
+// workers spend dispatching them, while workers sit idle — adding workers
+// will not help until the analyzer is sharded. The thresholds (ready-wait >
+// 2× busy and idle > busy) are a heuristic, not a proof.
+func (s *StageTotals) AnalyzerSaturated() bool {
+	busy := s.BusyNs()
+	return s.ReadyWaitNs > 2*busy && s.IdleNs > busy
+}
+
+// add folds other's totals into s.
+func (s *StageTotals) add(other *StageTotals) {
+	s.Workers += other.Workers
+	s.ReadyWaitNs += other.ReadyWaitNs
+	s.QueueWaitNs += other.QueueWaitNs
+	s.FetchNs += other.FetchNs
+	s.ExecNs += other.ExecNs
+	s.StoreNs += other.StoreNs
+	s.IdleNs += other.IdleNs
+	s.FlightNs += other.FlightNs
 }
 
 func (n *Node) buildReport(wall time.Duration, an *analyzer) *Report {
@@ -91,6 +162,17 @@ func (n *Node) buildReport(wall time.Duration, an *analyzer) *Report {
 			KernelTotal:   time.Duration(ks.ownKernelNs()),
 			StoreOps:      ks.ownStoreOps(),
 		})
+	}
+	if n.hIdle.enabled() {
+		st := &StageTotals{Workers: n.opts.Workers, IdleNs: n.hIdle.OwnNs()}
+		for _, ks := range n.order {
+			st.ReadyWaitNs += ks.stageReady.OwnNs()
+			st.QueueWaitNs += ks.stageQueue.OwnNs()
+			st.FetchNs += ks.stageFetch.OwnNs()
+			st.ExecNs += ks.stageExec.OwnNs()
+			st.StoreNs += ks.stageStore.OwnNs()
+		}
+		r.Stages = st
 	}
 	if !n.failed() {
 		r.Stalled = an.stalled()
@@ -126,6 +208,12 @@ func MergeReports(reports ...*Report) *Report {
 		merged.RecvMsgs += r.RecvMsgs
 		merged.SentBytes += r.SentBytes
 		merged.RecvBytes += r.RecvBytes
+		if r.Stages != nil {
+			if merged.Stages == nil {
+				merged.Stages = &StageTotals{}
+			}
+			merged.Stages.add(r.Stages)
+		}
 		for _, k := range r.Kernels {
 			i, ok := idx[k.Name]
 			if !ok {
@@ -186,6 +274,50 @@ func (r *Report) Table() string {
 	if r.SentMsgs > 0 || r.RecvMsgs > 0 {
 		fmt.Fprintf(&b, "transport: sent %d msgs / %d B, received %d msgs / %d B\n",
 			r.SentMsgs, r.SentBytes, r.RecvMsgs, r.RecvBytes)
+	}
+	if r.Stages != nil {
+		b.WriteString(r.Attribution())
+	}
+	return b.String()
+}
+
+// fmtMillis renders a duration as milliseconds for the attribution table.
+func fmtMillis(ns int64) string {
+	return fmt.Sprintf("%.2f ms", float64(ns)/1e6)
+}
+
+// Attribution renders the per-stage latency attribution: the worker-clock
+// stages with their share of the run's worker-seconds, the instance-clock
+// wait stages, and the analyzer-saturation flag (§VIII-B). Empty when the
+// run collected no stage timers.
+func (r *Report) Attribution() string {
+	s := r.Stages
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	workerNs := r.Wall.Nanoseconds() * int64(s.Workers)
+	pct := func(ns int64) string {
+		if workerNs <= 0 {
+			return "    -"
+		}
+		return fmt.Sprintf("%4.1f%%", 100*float64(ns)/float64(workerNs))
+	}
+	fmt.Fprintf(&b, "stage attribution (wall %v, %d workers = %s of worker time):\n",
+		r.Wall.Round(time.Microsecond), s.Workers, fmtMillis(workerNs))
+	fmt.Fprintf(&b, "  %-12s %14s %s of worker time\n", "fetch", fmtMillis(s.FetchNs), pct(s.FetchNs))
+	fmt.Fprintf(&b, "  %-12s %14s %s of worker time\n", "exec", fmtMillis(s.ExecNs), pct(s.ExecNs))
+	fmt.Fprintf(&b, "  %-12s %14s %s of worker time\n", "store", fmtMillis(s.StoreNs), pct(s.StoreNs))
+	fmt.Fprintf(&b, "  %-12s %14s %s of worker time\n", "idle", fmtMillis(s.IdleNs), pct(s.IdleNs))
+	fmt.Fprintf(&b, "  %-12s %14s %s attributed\n", "total", fmtMillis(s.AttributedNs()),
+		pct(s.AttributedNs()))
+	fmt.Fprintf(&b, "  %-12s %14s (instance-clock: analyzer-ready wait)\n", "ready-wait", fmtMillis(s.ReadyWaitNs))
+	fmt.Fprintf(&b, "  %-12s %14s (instance-clock: ready-queue wait)\n", "queue-wait", fmtMillis(s.QueueWaitNs))
+	if s.FlightNs > 0 {
+		fmt.Fprintf(&b, "  %-12s %14s (instance-clock: dist transport flight)\n", "flight", fmtMillis(s.FlightNs))
+	}
+	if s.AnalyzerSaturated() {
+		b.WriteString("  WARNING: analyzer saturated — ready-wait dominates dispatch time while workers idle (§VIII-B); adding workers will not scale\n")
 	}
 	return b.String()
 }

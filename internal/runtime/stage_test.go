@@ -1,0 +1,150 @@
+package runtime
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/obs"
+)
+
+// busyProgram is mulSum's dataflow shape with kernel bodies that spin for a
+// known time, so worker-clock stage totals dominate timer overhead and the
+// attribution coverage bound is meaningful.
+func busyProgram(t testing.TB, spin time.Duration) *core.Program {
+	t.Helper()
+	b := core.NewBuilder("busy")
+	b.Field("m_data", field.Int32, 1, true)
+	burn := func(c *core.Ctx) error {
+		for from := time.Now(); time.Since(from) < spin; {
+		}
+		return nil
+	}
+	b.Kernel("init").
+		Local("values", field.Int32, 1).
+		StoreAll("m_data", core.AgeAt(0), "values").
+		Body(func(c *core.Ctx) error {
+			vs := c.Array("values")
+			for i := 0; i < 5; i++ {
+				vs.Put(field.Int32Val(int32(i)), i)
+			}
+			return nil
+		})
+	b.Kernel("work").Age("a").Index("x").
+		Local("value", field.Int32, 0).
+		Fetch("value", "m_data", core.AgeVar(0), core.Idx("x")).
+		Store("m_data", core.AgeVar(1), []core.IndexSpec{core.Idx("x")}, "value").
+		Body(burn)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestStageAttributionCoverage checks the tentpole acceptance bound: the
+// worker-clock stages (fetch, exec, store, idle) attribute nearly all of the
+// run's worker-seconds. One worker keeps the run unoversubscribed on any
+// host (see the Coverage doc: runnable-but-descheduled time is invisible),
+// and the spin keeps per-instance work two orders above timer overhead, so
+// the bound is stable even on single-core CI machines.
+func TestStageAttributionCoverage(t *testing.T) {
+	reg := obs.NewRegistry()
+	rep, err := Run(busyProgram(t, 100*time.Microsecond),
+		Options{Workers: 1, MaxAge: 30, Output: io.Discard, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Stages
+	if s == nil {
+		t.Fatal("metrics run produced no stage attribution")
+	}
+	if s.Workers != 1 {
+		t.Errorf("Stages.Workers = %d, want 1", s.Workers)
+	}
+	if s.ExecNs <= 0 || s.IdleNs < 0 || s.FetchNs < 0 || s.StoreNs < 0 {
+		t.Errorf("stage totals out of range: %+v", s)
+	}
+	// 150 instances × 100µs of pure spin must show up as exec time.
+	if minExec := int64(10 * time.Millisecond); s.ExecNs < minExec {
+		t.Errorf("ExecNs = %v, want ≥ %v", time.Duration(s.ExecNs), time.Duration(minExec))
+	}
+	cov := s.Coverage(rep.Wall)
+	if cov < 0.90 || cov > 1.10 {
+		t.Errorf("stage coverage = %.3f of wall×workers, want ~1.0 (stages %+v, wall %v)",
+			cov, s, rep.Wall)
+	}
+	// Instance-clock stages exist and are sane (non-negative).
+	if s.ReadyWaitNs < 0 || s.QueueWaitNs < 0 {
+		t.Errorf("instance-clock stages negative: ready %d queue %d", s.ReadyWaitNs, s.QueueWaitNs)
+	}
+}
+
+// TestStageMetricsSurface checks the per-kernel stage histograms land in the
+// shared registry under their documented names, and the idle stage is global.
+func TestStageMetricsSurface(t *testing.T) {
+	reg := obs.NewRegistry()
+	if _, err := Run(mulSum(t), Options{Workers: 2, MaxAge: 3, Output: io.Discard, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		obs.Label(obs.MStageReadyWaitNs, "kernel", "mul2"),
+		obs.Label(obs.MStageQueueWaitNs, "kernel", "mul2"),
+		obs.Label(obs.MStageFetchNs, "kernel", "mul2"),
+		obs.Label(obs.MStageExecNs, "kernel", "mul2"),
+		obs.Label(obs.MStageStoreNs, "kernel", "mul2"),
+		obs.MStageIdleNs,
+	} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Errorf("histogram %q missing from registry", name)
+			continue
+		}
+		if h.Count <= 0 {
+			t.Errorf("histogram %q recorded no samples", name)
+		}
+	}
+	// Stage timers for a kernel sample once per dispatched instance.
+	execH := snap.Histograms[obs.Label(obs.MStageExecNs, "kernel", "mul2")]
+	inst := snap.Counters[obs.Label(obs.MKernelInstances, "kernel", "mul2")]
+	if execH.Count != inst {
+		t.Errorf("stage_exec count %d != %d instances", execH.Count, inst)
+	}
+}
+
+// TestAnalyzerSaturatedHeuristic pins the §VIII-B signature thresholds.
+func TestAnalyzerSaturatedHeuristic(t *testing.T) {
+	sat := &StageTotals{Workers: 8, FetchNs: 1e6, ExecNs: 2e6, StoreNs: 1e6, IdleNs: 9e6, ReadyWaitNs: 20e6}
+	if !sat.AnalyzerSaturated() {
+		t.Error("saturated profile not flagged")
+	}
+	healthy := &StageTotals{Workers: 8, FetchNs: 1e6, ExecNs: 40e6, StoreNs: 1e6, IdleNs: 2e6, ReadyWaitNs: 20e6}
+	if healthy.AnalyzerSaturated() {
+		t.Error("healthy profile flagged as saturated")
+	}
+}
+
+// TestDispatchTracingOffAllocFree is the perf gate for the tracing-off path:
+// with neither tracer nor registry, one dispatch through exec must not
+// allocate — the stage timers have to stay entirely behind the n.stamp gate.
+func TestDispatchTracingOffAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	n, tr, is := benchNode(t, true)
+	if n.stamp {
+		t.Fatal("node without observability has stamping enabled")
+	}
+	w := &workerState{n: n, id: 0, buf: make([]event, 0, 8)}
+	n.exec(tr, is, w) // warm the frame pool
+	allocs := testing.AllocsPerRun(200, func() {
+		w.buf = w.buf[:0]
+		n.exec(tr, is, w)
+	})
+	if allocs != 0 {
+		t.Errorf("tracing-off dispatch allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/field"
@@ -24,10 +25,14 @@ type instState struct {
 	coords []int
 	mask   uint32
 	st     uint8
-	// readyNs is the tracer-relative time the instance became dispatchable
-	// (stamped only when tracing is enabled; the ready queue's mutex orders
-	// the analyzer's write before the worker's read).
-	readyNs int64
+	// readyNs/createdNs are node-clock-relative lifecycle stamps (see
+	// Node.nowNs), recorded only when tracing or stage metrics are enabled
+	// (Node.stamp); the ready queue's mutex orders the analyzer's writes
+	// before the worker's reads. createdNs is the instance's registration
+	// time, readyNs the time its last dependency was satisfied — their
+	// difference is the analyzer-ready-wait stage.
+	readyNs   int64
+	createdNs int64
 }
 
 // coordKey packs index-variable values into a map key. Extents are limited to
@@ -67,6 +72,33 @@ func (b counterWithBaseline) Add(d int64) { b.c.Add(d) }
 
 // Own returns the counter's growth since node construction.
 func (b counterWithBaseline) Own() int64 { return b.c.Load() - b.base }
+
+// histWithBase wraps a registry histogram together with its sum/count at
+// node construction time, the histogram analogue of counterWithBaseline: a
+// shared registry may carry observations from earlier nodes, and the stage
+// attribution report must project only this node's contribution. The zero
+// value (nil histogram) is a disabled handle whose methods are no-ops.
+type histWithBase struct {
+	h         *obs.Histogram
+	baseSum   int64
+	baseCount int64
+}
+
+func newHistBase(h *obs.Histogram) histWithBase {
+	return histWithBase{h: h, baseSum: h.SumNs(), baseCount: h.Count()}
+}
+
+// Observe records one duration on the underlying histogram.
+func (b histWithBase) Observe(d time.Duration) { b.h.Observe(d) }
+
+// enabled reports whether the handle points at a live histogram.
+func (b histWithBase) enabled() bool { return b.h != nil }
+
+// OwnNs returns the summed nanoseconds observed since node construction.
+func (b histWithBase) OwnNs() int64 { return b.h.SumNs() - b.baseSum }
+
+// OwnCount returns the observations recorded since node construction.
+func (b histWithBase) OwnCount() int64 { return b.h.Count() - b.baseCount }
 
 // idxTerm is one dimension of a precompiled fetch/store index expression:
 // coords[v]+off, or the literal off when v < 0. Compiling the terms at
@@ -172,6 +204,16 @@ type kernelState struct {
 	dispatchNs counterWithBaseline
 	kernelNs   counterWithBaseline
 	storeOps   counterWithBaseline
+
+	// Stage timers (ISSUE 6): the fixed per-instance latency decomposition
+	// behind the attribution report. Enabled (non-nil) only when the node
+	// has a caller-supplied registry; the zero value is a no-op handle, so
+	// the tracing-off dispatch path pays nothing.
+	stageReady histWithBase // instance created -> last dependency satisfied
+	stageQueue histWithBase // ready -> a worker picked it up
+	stageFetch histWithBase // context construction + fetches
+	stageExec  histWithBase // kernel body
+	stageStore histWithBase // store application + event emission
 }
 
 // ownInstances returns the instances dispatched by this node (registry value

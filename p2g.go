@@ -19,6 +19,8 @@
 package p2g
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/deadline"
 	"repro/internal/field"
@@ -133,7 +135,19 @@ type (
 	Tracer = obs.Tracer
 	// ObsServer serves the live /metricz, /statusz and /tracez endpoints.
 	ObsServer = obs.Server
+	// StageTotals is the per-stage latency attribution of a run
+	// (Report.Stages): where worker-seconds and instance lifetimes went.
+	StageTotals = runtime.StageTotals
+	// NodeTrace is one node's span buffer with the clock alignment the
+	// merged cluster trace needs.
+	NodeTrace = obs.NodeTrace
 )
+
+// WriteMergedChromeTrace merges span bundles from several nodes into one
+// clock-aligned Chrome trace_event file (one process per node).
+func WriteMergedChromeTrace(w io.Writer, nodes []NodeTrace) error {
+	return obs.WriteMergedChromeTrace(w, nodes)
+}
 
 // NewMetricsRegistry creates an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }

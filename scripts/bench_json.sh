@@ -9,6 +9,8 @@
 #              benchmarks (slab store, wire encode) -> BENCH_memory.json
 #   transport  distributed MJPEG encode over TCP loopback, batched typed
 #              frames vs the gob-per-store baseline -> BENCH_transport.json
+#   obs        figure 9/10 workloads with observability off / metrics /
+#              full tracing (overhead A/B)          -> BENCH_obs.json
 #   all        every suite
 #
 # Usage: scripts/bench_json.sh [benchtime] [suite]   (default 1s scheduler)
@@ -73,13 +75,17 @@ memory)
 transport)
 	emit BENCH_transport.json 'TransportMJPEG' .
 	;;
+obs)
+	emit BENCH_obs.json 'ObsOverhead' .
+	;;
 all)
 	emit BENCH_scheduler.json 'Fig9MJPEG|Fig10KMeans|Dispatch' . ./internal/runtime/
 	emit BENCH_memory.json 'Fig9MJPEG$|Fig10KMeans$|FieldStoreSlab|WireEncodeFrame' .
 	emit BENCH_transport.json 'TransportMJPEG' .
+	emit BENCH_obs.json 'ObsOverhead' .
 	;;
 *)
-	echo "unknown suite: $suite (want scheduler, memory, transport, or all)" >&2
+	echo "unknown suite: $suite (want scheduler, memory, transport, obs, or all)" >&2
 	exit 2
 	;;
 esac
