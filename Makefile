@@ -28,7 +28,7 @@ ci: fmt-check vet build race
 # figure 9/10 sweeps and the dispatch benchmark, enough to catch crashes or
 # stalls in the dispatch fast path without a full measurement run.
 bench:
-	$(GO) test -bench 'Fig9|Fig10|Dispatch' -benchtime=1x -count=1 .
+	$(GO) test -bench 'Fig9|Fig10|Dispatch|Analyzer' -benchtime=1x -count=1 .
 
 # bench-mem is the memory-path smoke gate (also run by ci.sh): the typed slab
 # store and wire-encode benchmarks with allocation reporting, enough to catch

@@ -86,6 +86,36 @@ func BenchmarkFig10KMeans(b *testing.B) { benchFig10KMeans(b, runtime.SchedSteal
 // BenchmarkFig10KMeansRefQueue is the A/B baseline on the reference queue.
 func BenchmarkFig10KMeansRefQueue(b *testing.B) { benchFig10KMeans(b, runtime.SchedGlobal) }
 
+// BenchmarkAnalyzerSharded sweeps the analyzer shard count on the figure 10
+// K-means 8-worker configuration (the workload whose scaling §VIII-B blames
+// on the serial analyzer); BenchmarkAnalyzerSerial is the A/B reference.
+func BenchmarkAnalyzerSharded(b *testing.B) {
+	cfg := workloads.KMeansConfig{N: 500, K: 25, Iter: 5, Dim: 2, Seed: 7}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := workloads.KMeansOptions(cfg, 8)
+				opts.Analyzer = runtime.AnalyzerSharded
+				opts.AnalyzerShards = shards
+				if _, err := runtime.Run(workloads.KMeans(cfg), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAnalyzerSerial(b *testing.B) {
+	cfg := workloads.KMeansConfig{N: 500, K: 25, Iter: 5, Dim: 2, Seed: 7}
+	for i := 0; i < b.N; i++ {
+		opts := workloads.KMeansOptions(cfg, 8)
+		opts.Analyzer = runtime.AnalyzerSerial
+		if _, err := runtime.Run(workloads.KMeans(cfg), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTableII_DCT measures the work of one yDCT kernel instance with the
 // naive transform — the paper's 170µs row.
 func BenchmarkTableII_DCT(b *testing.B) {

@@ -16,7 +16,7 @@ go test -race ./...
 # Scheduler smoke gate: one iteration of the figure 9/10 sweeps and the
 # dispatch benchmark (`make bench`) to catch crashes or stalls in the
 # dispatch fast path.
-go test -bench 'Fig9|Fig10|Dispatch' -benchtime=1x -count=1 .
+go test -bench 'Fig9|Fig10|Dispatch|Analyzer' -benchtime=1x -count=1 .
 # Memory-path smoke gate (`make bench-mem`): the typed slab store and
 # wire-encode benchmarks with allocation reporting.
 go test -bench 'FieldStoreSlab|WireEncodeFrame' -benchmem -benchtime=100x -count=1 -run xxx .

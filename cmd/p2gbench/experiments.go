@@ -53,6 +53,8 @@ func runInstrumented(prog *core.Program, opts runtime.Options) (*runtime.Report,
 	opts.Metrics = benchReg
 	opts.Tracer = benchTracer
 	opts.Scheduler = schedulerKind()
+	opts.Analyzer = analyzerKind()
+	opts.AnalyzerShards = *shardsFlag
 	node, err := runtime.NewNode(prog, opts)
 	if err != nil {
 		return nil, err

@@ -35,6 +35,8 @@ var (
 	attrFlag    = flag.Bool("attr", false, "print per-stage latency attribution (ready-wait, queue-wait, fetch, exec, store, idle) after every instrumented run")
 	metricsAddr = flag.String("metrics-addr", "", "serve /metricz, /statusz and /tracez on this address while experiments run, e.g. :9090")
 	schedFlag   = flag.String("scheduler", "stealing", "ready-queue implementation: stealing (work-stealing deques) or global (reference queue)")
+	anFlag      = flag.String("analyzer", "sharded", "dependency-analyzer implementation: sharded (per-shard event channels) or serial (reference)")
+	shardsFlag  = flag.Int("shards", 0, "analyzer shard count for -analyzer=sharded (0: auto from GOMAXPROCS)")
 )
 
 // schedulerKind maps the -scheduler flag onto Options.Scheduler.
@@ -43,6 +45,14 @@ func schedulerKind() runtime2.SchedulerKind {
 		return runtime2.SchedGlobal
 	}
 	return runtime2.SchedStealing
+}
+
+// analyzerKind maps the -analyzer flag onto Options.Analyzer.
+func analyzerKind() runtime2.AnalyzerKind {
+	if *anFlag == "serial" {
+		return runtime2.AnalyzerSerial
+	}
+	return runtime2.AnalyzerSharded
 }
 
 // benchReg and benchTracer instrument every experiment's instrumented runs
@@ -65,6 +75,10 @@ func main() {
 
 	if *schedFlag != "stealing" && *schedFlag != "global" {
 		fmt.Fprintf(os.Stderr, "p2gbench: unknown -scheduler %q (want stealing or global)\n", *schedFlag)
+		os.Exit(2)
+	}
+	if *anFlag != "sharded" && *anFlag != "serial" {
+		fmt.Fprintf(os.Stderr, "p2gbench: unknown -analyzer %q (want sharded or serial)\n", *anFlag)
 		os.Exit(2)
 	}
 

@@ -63,6 +63,21 @@ func (g *Gauge) Add(d int64) {
 	}
 }
 
+// SetMax raises the gauge to v if v is larger (a monotonic high-water mark).
+// Unlike Set, concurrent reporters cannot regress the value, which is what
+// per-shard backlog high-water gauges need. Safe on a nil receiver.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Load returns the current value; zero on a nil receiver.
 func (g *Gauge) Load() int64 {
 	if g == nil {
@@ -523,6 +538,10 @@ const (
 	MEventBatchesTotal = "runtime_event_batches_total" // counter: event batches received by the analyzer
 	MWorkerQueueDepth  = "runtime_worker_queue_depth"  // gauge per worker: instances queued in that worker's deque
 
+	// Sharded dependency analyzer (attach Label(..., "shard", i)).
+	MAnalyzerShardEvents     = "runtime_analyzer_shard_events_total" // counter per shard: events processed by that shard
+	MAnalyzerShardBacklogMax = "runtime_analyzer_shard_backlog_max"  // gauge per shard: high-water event backlog (batches)
+
 	// Transport (one connection end).
 	MTransportSentMsgs  = "transport_sent_msgs_total"
 	MTransportRecvMsgs  = "transport_recv_msgs_total"
@@ -544,5 +563,6 @@ const (
 	MStageExecNs      = "stage_exec_ns"       // histogram per kernel: kernel body
 	MStageStoreNs     = "stage_store_ns"      // histogram per kernel: store application + event emission
 	MStageIdleNs      = "stage_idle_ns"       // histogram per node: worker blocked waiting for ready work
+	MStageAnalyzeNs   = "stage_analyze_ns"    // histogram per analyzer shard: event-processing busy time
 	MStageFlightNs    = "stage_flight_ns"     // histogram: dist message send -> receive (clock-offset corrected)
 )

@@ -394,7 +394,7 @@ func (an *analyzer) setBit(t *ageTracker, is *instState, bit uint32) {
 		}
 		t.pending = append(t.pending, is)
 		an.dirty[t] = struct{}{}
-		if len(t.pending) >= t.ks.gran {
+		if len(t.pending) >= int(t.ks.gran.Load()) {
 			an.flushPending(t, false)
 		}
 	}
@@ -406,7 +406,7 @@ func (an *analyzer) setBit(t *ageTracker, is *instState, bit uint32) {
 // batchPool, and the pending slice is compacted in place (copy-down with the
 // tail nilled) so neither consumed entries nor their backing array leak.
 func (an *analyzer) flushPending(t *ageTracker, partial bool) {
-	g := t.ks.gran
+	g := int(t.ks.gran.Load())
 	for len(t.pending) >= g || (partial && len(t.pending) > 0) {
 		n := g
 		if n > len(t.pending) {
@@ -494,16 +494,24 @@ func (an *analyzer) handleDone(ev *event) {
 // time, instances are combined into larger slices.
 func (an *analyzer) adapt(ks *kernelState) {
 	n := ks.ownInstances()
-	if n == 0 || n%128 != 0 || ks.gran >= 256 {
+	g := ks.gran.Load()
+	if n == 0 || n%128 != 0 || g >= 256 {
 		return
 	}
-	disp := ks.ownDispatchNs() / n
-	kern := ks.ownKernelNs() / n
+	// Means come from the timed instances only (timing is sampled when the
+	// node runs without a tracer or registry).
+	timed := ks.timedInsts.Load()
+	if timed == 0 {
+		return
+	}
+	disp := ks.ownDispatchNs() / timed
+	kern := ks.ownKernelNs() / timed
 	if kern < 2*disp {
-		ks.gran *= 2
-		if ks.gran > 256 {
-			ks.gran = 256
+		g *= 2
+		if g > 256 {
+			g = 256
 		}
+		ks.gran.Store(g)
 	}
 }
 

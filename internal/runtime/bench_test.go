@@ -48,12 +48,14 @@ func benchNode(b testing.TB, indexed bool) (*Node, *ageTracker, *instState) {
 // plan with no index variables; the acceptance target is 0 allocs/op.
 func BenchmarkDispatchInstance(b *testing.B) {
 	n, t, is := benchNode(b, false)
-	w := &workerState{n: n, id: 0, buf: make([]event, 0, 8)}
+	w := newWorkerState(n, 0)
 	n.exec(t, is, w) // warm the frame pool
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w.buf = w.buf[:0]
+		for j := range w.bufs {
+			w.bufs[j] = w.bufs[j][:0]
+		}
 		n.exec(t, is, w)
 	}
 }
@@ -63,12 +65,14 @@ func BenchmarkDispatchInstance(b *testing.B) {
 // frame's scratch).
 func BenchmarkDispatchInstanceIndexed(b *testing.B) {
 	n, t, is := benchNode(b, true)
-	w := &workerState{n: n, id: 0, buf: make([]event, 0, 8)}
+	w := newWorkerState(n, 0)
 	n.exec(t, is, w)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w.buf = w.buf[:0]
+		for j := range w.bufs {
+			w.bufs[j] = w.bufs[j][:0]
+		}
 		n.exec(t, is, w)
 	}
 }

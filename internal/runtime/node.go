@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
+	goruntime "runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -47,12 +49,22 @@ type Options struct {
 	// Clock drives deadline timers; nil selects the real clock.
 	Clock deadline.Clock
 	// EventBuffer sizes the analyzer's event channel (in event batches;
-	// workers flush store/done events in batches); zero selects 4096.
+	// workers flush store/done events in batches of up to 64, so the
+	// default of 1024 batches buffers ~65k events). Zero selects 1024.
 	EventBuffer int
 	// Scheduler selects the ready-queue implementation: SchedStealing (the
 	// default work-stealing per-worker deques) or SchedGlobal (the reference
 	// single mutex+condvar queue, kept for A/B benchmarking).
 	Scheduler SchedulerKind
+	// Analyzer selects the dependency-analyzer implementation:
+	// AnalyzerSharded (the default; state sharded by (kernel, age) across
+	// per-shard event channels) or AnalyzerSerial (the single-goroutine
+	// reference analyzer, kept for A/B benchmarking).
+	Analyzer AnalyzerKind
+	// AnalyzerShards is the shard count for AnalyzerSharded; zero picks
+	// max(1, min(8, GOMAXPROCS/2)), and values are capped at 64 (the shard
+	// routing mask is a uint64).
+	AnalyzerShards int
 
 	// Metrics, when set, receives the node's full instrumentation: the
 	// per-kernel counters behind the Report plus dispatch/fetch/store
@@ -110,7 +122,19 @@ func (o Options) withDefaults() Options {
 		o.MaxAge = math.MaxInt
 	}
 	if o.EventBuffer <= 0 {
-		o.EventBuffer = 4096
+		o.EventBuffer = 1024
+	}
+	if o.AnalyzerShards <= 0 {
+		o.AnalyzerShards = goruntime.GOMAXPROCS(0) / 2
+		if o.AnalyzerShards > 8 {
+			o.AnalyzerShards = 8
+		}
+	}
+	if o.AnalyzerShards < 1 {
+		o.AnalyzerShards = 1
+	}
+	if o.AnalyzerShards > 64 {
+		o.AnalyzerShards = 64
 	}
 	return o
 }
@@ -128,7 +152,10 @@ type Node struct {
 
 	timers *deadline.TimerSet
 	sched  scheduler
+	// events feeds the serial analyzer; under the sharded analyzer (sh is
+	// non-nil) workers route events to per-shard channels instead.
 	events chan []event
+	sh     *shardedAnalyzer
 	out    *lockedWriter
 
 	wg        sync.WaitGroup
@@ -209,7 +236,6 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 		fields:  make(map[string]*fieldState, len(p.Fields)),
 		kernels: make(map[string]*kernelState, len(p.Kernels)),
 		timers:  deadline.NewTimerSet(opts.Clock, p.Timers...),
-		events:  make(chan []event, opts.EventBuffer),
 		out:     &lockedWriter{w: opts.Output},
 		reg:     opts.Metrics,
 		tracer:  opts.Tracer,
@@ -269,7 +295,7 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 	}
 	for _, kd := range p.Kernels {
 		ks := &kernelState{
-			decl: kd, ages: make(map[int]*ageTracker), gran: 1, remote: opts.RemoteKernels[kd.Name],
+			decl: kd, ages: make(map[int]*ageTracker), remote: opts.RemoteKernels[kd.Name],
 			instances:  newBaselined(n.reg.Counter(obs.Label(obs.MKernelInstances, "kernel", kd.Name))),
 			dispatchNs: newBaselined(n.reg.Counter(obs.Label(obs.MKernelDispatchNs, "kernel", kd.Name))),
 			kernelNs:   newBaselined(n.reg.Counter(obs.Label(obs.MKernelTimeNs, "kernel", kd.Name))),
@@ -282,13 +308,15 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 			ks.stageExec = newHistBase(n.reg.Histogram(obs.Label(obs.MStageExecNs, "kernel", kd.Name)))
 			ks.stageStore = newHistBase(n.reg.Histogram(obs.Label(obs.MStageStoreNs, "kernel", kd.Name)))
 		}
+		ks.gran.Store(1)
 		if g, ok := opts.Granularity[kd.Name]; ok && g > 0 {
-			ks.gran = g
+			ks.gran.Store(int32(g))
 		}
 		if len(kd.Fetches) > 32 {
 			return nil, fmt.Errorf("p2g: kernel %q has %d fetches; the runtime supports at most 32", kd.Name, len(kd.Fetches))
 		}
 		ks.fullMask = uint32(1)<<uint(len(kd.Fetches)) - 1
+		ks.idx = len(n.order)
 		n.kernels[kd.Name] = ks
 		n.order = append(n.order, ks)
 	}
@@ -356,6 +384,7 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 				if len(fp.terms) > maxIdx {
 					maxIdx = len(fp.terms)
 				}
+				ks.needsInstMap = true
 			}
 			ks.fetchPlans[i] = fp
 		}
@@ -393,6 +422,48 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 			}
 		}}
 	}
+	// Store-event routing tables (sharded analyzer): which shards a store to
+	// generation g can concern. Remote kernels never have local trackers, so
+	// their edges route nowhere.
+	for _, fs := range n.fields {
+		seenElem := make(map[shardRoute]bool)
+		for _, ce := range fs.consumers {
+			if ce.terms == nil || ce.ks.remote {
+				continue
+			}
+			if !ce.fetch.Age.HasVar {
+				fs.elemBroadcast = true
+				continue
+			}
+			r := shardRoute{ks: ce.ks, off: ce.fetch.Age.Offset}
+			if !seenElem[r] {
+				seenElem[r] = true
+				fs.elemRoutes = append(fs.elemRoutes, r)
+			}
+		}
+		seenGrow := make(map[shardRoute]bool)
+		for _, re := range fs.rangeOf {
+			if re.ks.remote {
+				continue
+			}
+			if !re.age.HasVar {
+				fs.growBroadcast = true
+				continue
+			}
+			r := shardRoute{ks: re.ks, off: re.age.Offset}
+			if !seenGrow[r] {
+				seenGrow[r] = true
+				fs.growRoutes = append(fs.growRoutes, r)
+			}
+		}
+	}
+	if opts.Analyzer == AnalyzerSharded {
+		n.sh = newShardedAnalyzer(n, opts.AnalyzerShards)
+	} else {
+		// The serial analyzer's event channel; the sharded analyzer routes
+		// through per-shard channels instead and never touches it.
+		n.events = make(chan []event, opts.EventBuffer)
+	}
 	return n, nil
 }
 
@@ -413,10 +484,18 @@ func (n *Node) Run() (*Report, error) {
 		n.wg.Add(1)
 		go n.worker(i)
 	}
-	an := newAnalyzer(n)
-	an.run()
-	n.wg.Wait()
-	n.report = n.buildReport(time.Since(start), an)
+	var stats analyzerStats
+	if n.sh != nil {
+		n.sh.run()
+		n.wg.Wait()
+		stats = n.sh.stats(n.failed())
+	} else {
+		an := newAnalyzer(n)
+		an.run()
+		n.wg.Wait()
+		stats = an.stats(n.failed())
+	}
+	n.report = n.buildReport(time.Since(start), stats)
 	return n.report, n.runErr
 }
 
@@ -434,15 +513,21 @@ func Run(p *core.Program, opts Options) (*Report, error) {
 	return rep, runErr
 }
 
-// closeEventsWhenWorkersExit arranges for the event channel to close once all
-// workers have stopped, letting the analyzer drain without deadlock.
+// closeEventsWhenWorkersExit arranges for the event channel(s) to close once
+// all workers have stopped, letting the analyzer drain without deadlock.
 func (n *Node) closeEventsWhenWorkersExit() {
 	n.closeOnce.Do(func() {
 		go func() {
 			n.wg.Wait()
 			n.injectMu.Lock()
 			n.eventsClosed = true
-			close(n.events)
+			if n.sh != nil {
+				for _, s := range n.sh.shards {
+					close(s.ch)
+				}
+			} else {
+				close(n.events)
+			}
 			n.injectMu.Unlock()
 		}()
 	})
@@ -457,11 +542,49 @@ func (n *Node) inject(ev event) bool {
 	if n.eventsClosed {
 		return false
 	}
+	if n.sh != nil {
+		n.injectSharded(ev)
+		return true
+	}
 	evs := getEventBuf()
 	evs = append(evs, ev)
 	n.mEventBatches.Add(1)
 	n.events <- evs
 	return true
+}
+
+// injectSharded routes an injected event to the shard(s) it concerns: done
+// events to the tracker's owner, remote-done and completeness bookkeeping to
+// shard 0, stop to everyone, and store events along the precompiled routing
+// tables. Caller holds injectMu.RLock with eventsClosed false.
+func (n *Node) injectSharded(ev event) {
+	sh := n.sh
+	send := func(shard int) {
+		evs := getEventBuf()
+		evs = append(evs, ev)
+		n.mEventBatches.Add(1)
+		sh.pending.Add(1)
+		sh.activity.Add(1)
+		sh.shards[shard].ch <- evs
+	}
+	switch {
+	case ev.stop:
+		for i := range sh.shards {
+			send(i)
+		}
+	case ev.remoteDone != nil:
+		send(0)
+	case ev.isDone:
+		send(sh.shardOf(ev.t.ks, ev.t.age))
+	default:
+		sh.injectEnsure(ev.fs, ev.age)
+		mask := sh.shardMaskForStore(ev.fs, ev.age, ev.grew)
+		for mask != 0 {
+			i := bits.TrailingZeros64(mask)
+			mask &^= 1 << uint(i)
+			send(i)
+		}
+	}
 }
 
 // InjectStore applies a store received from a remote node: the value is
@@ -523,6 +646,11 @@ func (n *Node) Stop() {
 // backlogged events. Distributed masters poll this (twice, with stable event
 // counts) to detect global quiescence.
 func (n *Node) Idle() bool {
+	if n.sh != nil {
+		// pending counts every unit of in-flight work: buffered batches,
+		// control messages, and ready-but-not-done instances.
+		return n.sh.pending.Load() == 0
+	}
 	return n.outstandingMirror.Load() == 0 && len(n.events) == 0
 }
 
@@ -592,30 +720,100 @@ func (n *Node) FieldMemoryElems() int {
 const eventFlushThreshold = 64
 
 // workerState is one worker goroutine's dispatch state: its scheduler slot
-// and the local buffer of analyzer events awaiting the next batched flush.
+// and the local analyzer-event buffers awaiting the next batched flush — one
+// buffer per analyzer shard (a single buffer under the serial analyzer).
 type workerState struct {
-	n   *Node
-	id  int // 0-based scheduler slot; tracer lane is id+1 (analyzer is 0)
-	buf []event
+	n    *Node
+	id   int // 0-based scheduler slot; tracer lane is id+1 (analyzer is 0)
+	bufs [][]event
+
+	// timeAll forces per-instance timing (tracer spans and stage histograms
+	// need every instance); otherwise exec samples one instance in
+	// timeSampleEvery, paced by tick.
+	timeAll bool
+	tick    uint
+
+	// frames caches one checked-out execution frame per kernel (indexed by
+	// kernelState.idx) so consecutive dispatches skip the sync.Pool, whose
+	// dequeue CAS is measurable on the dispatch path. Frames return to their
+	// kernel's pool when the worker exits.
+	frames []*execFrame
 }
 
-// emit buffers one analyzer event, flushing at the batching threshold.
-func (w *workerState) emit(ev event) {
-	w.buf = append(w.buf, ev)
-	if len(w.buf) >= eventFlushThreshold {
-		w.flush()
+// timeSampleEvery is the uninstrumented dispatch path's timing sample rate:
+// one instance in this many gets the full time.Now() stamping. Must be a
+// power of two (sampling uses a mask).
+const timeSampleEvery = 8
+
+func newWorkerState(n *Node, id int) *workerState {
+	nb := 1
+	if n.sh != nil {
+		nb = len(n.sh.shards)
+	}
+	w := &workerState{n: n, id: id, bufs: make([][]event, nb), timeAll: n.stamp, frames: make([]*execFrame, len(n.order))}
+	for i := range w.bufs {
+		w.bufs[i] = getEventBuf()
+	}
+	return w
+}
+
+// emit routes one analyzer event to its shard buffer(s). Under the sharded
+// analyzer a store event reaches only the shards whose trackers can depend on
+// it; an event with an empty route set is dropped here, before it costs a
+// channel send or an analyzer wakeup.
+func (w *workerState) emit(ev *event) {
+	sh := w.n.sh
+	if sh == nil {
+		w.add(0, ev)
+		return
+	}
+	if ev.isDone {
+		w.add(sh.shardOf(ev.t.ks, ev.t.age), ev)
+		return
+	}
+	mask := sh.shardMaskForStore(ev.fs, ev.age, ev.grew)
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		mask &^= 1 << uint(i)
+		w.add(i, ev)
 	}
 }
 
-// flush hands the buffered events to the analyzer as one batch (a single
-// channel send) and starts a fresh pooled buffer.
-func (w *workerState) flush() {
-	if len(w.buf) == 0 {
+// add buffers one event for one shard, flushing at the batching threshold.
+// The quiescence count covers a buffer from its first event: the increment
+// happens here (empty -> non-empty) and the matching decrement only after the
+// flushed batch is fully processed.
+func (w *workerState) add(shard int, ev *event) {
+	if w.n.sh != nil && len(w.bufs[shard]) == 0 {
+		w.n.sh.pending.Add(1)
+		w.n.sh.activity.Add(1)
+	}
+	w.bufs[shard] = append(w.bufs[shard], *ev)
+	if len(w.bufs[shard]) >= eventFlushThreshold {
+		w.flushShard(shard)
+	}
+}
+
+// flushShard hands one shard's buffered events to its analyzer as one batch
+// (a single channel send) and starts a fresh pooled buffer.
+func (w *workerState) flushShard(shard int) {
+	if len(w.bufs[shard]) == 0 {
 		return
 	}
 	w.n.mEventBatches.Add(1)
-	w.n.events <- w.buf
-	w.buf = getEventBuf()
+	if w.n.sh != nil {
+		w.n.sh.shards[shard].ch <- w.bufs[shard]
+	} else {
+		w.n.events <- w.bufs[shard]
+	}
+	w.bufs[shard] = getEventBuf()
+}
+
+// flush hands every non-empty buffer to its analyzer shard.
+func (w *workerState) flush() {
+	for i := range w.bufs {
+		w.flushShard(i)
+	}
 }
 
 // worker is one worker goroutine: it pops batches oldest-age-first and
@@ -626,7 +824,14 @@ func (w *workerState) flush() {
 // are never stranded.
 func (n *Node) worker(id int) {
 	defer n.wg.Done()
-	w := &workerState{n: n, id: id, buf: getEventBuf()}
+	w := newWorkerState(n, id)
+	defer func() {
+		for i, fr := range w.frames {
+			if fr != nil {
+				n.order[i].frames.Put(fr)
+			}
+		}
+	}()
 	for {
 		b, ok := n.sched.TryPop(id)
 		if !ok {
@@ -659,9 +864,23 @@ func (n *Node) worker(id int) {
 func (n *Node) exec(t *ageTracker, is *instState, w *workerState) {
 	ks := t.ks
 	kd := ks.decl
-	t0 := time.Now()
+	timed := w.timeAll
+	if !timed {
+		w.tick++
+		// Sample the timing stamps; the extra seed check keeps kernels with
+		// fewer instances than the sample period from reporting zero.
+		timed = w.tick&(timeSampleEvery-1) == 0 || ks.timedInsts.Load() == 0
+	}
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 
-	fr := ks.frames.Get().(*execFrame)
+	fr := w.frames[ks.idx]
+	if fr == nil {
+		fr = ks.frames.Get().(*execFrame)
+		w.frames[ks.idx] = fr
+	}
 	ctx := fr.ctx
 	ctx.Reset(t.age, is.coords)
 	for i := range ks.fetchPlans {
@@ -690,17 +909,23 @@ func (n *Node) exec(t *ageTracker, is *instState, w *workerState) {
 			v, ok := fp.fs.f.At(g, idx...)
 			if !ok {
 				n.fail(fmt.Errorf("p2g: internal error: %s dispatched before %s(%d)%v was written", kd.Name, fe.Field, g, idx))
-				w.emit(event{isDone: true, t: t, inst: is})
-				n.releaseFrame(ks, fr)
+				w.emit(&event{isDone: true, t: t, inst: is})
+				fr.ctx.Reset(0, nil)
 				return
 			}
 			ctx.BindFetched(fe.Local, v)
 		}
 	}
 
-	t1 := time.Now()
+	var t1 time.Time
+	if timed {
+		t1 = time.Now()
+	}
 	err := n.runBody(kd, ctx)
-	t2 := time.Now()
+	var t2 time.Time
+	if timed {
+		t2 = time.Now()
+	}
 
 	stores := 0
 	if err != nil {
@@ -762,55 +987,56 @@ func (n *Node) exec(t *ageTracker, is *instState, w *workerState) {
 			}
 			ev.grew = res.Grew
 			ev.extents = res.Extents
-			w.emit(ev)
+			w.emit(&ev)
 		}
 	}
-	t3 := time.Now()
-
 	ks.instances.Add(1)
-	ks.dispatchNs.Add(int64(t1.Sub(t0) + t3.Sub(t2)))
-	ks.kernelNs.Add(int64(t2.Sub(t1)))
 	ks.storeOps.Add(int64(stores))
 
-	// Detailed metrics and tracing (nil handles are no-ops).
-	n.mDispatches.Add(1)
-	n.hFetch.Observe(t1.Sub(t0))
-	n.hKernel.Observe(t2.Sub(t1))
-	n.hStore.Observe(t3.Sub(t2))
-	if n.stamp {
-		// t0 on the node's stage clock; with tracing on this equals the
-		// span timestamp, so queue wait is identical in both views.
-		ts := t0.Sub(n.clock).Nanoseconds()
-		wait := int64(0)
-		if is.readyNs > 0 && ts > is.readyNs {
-			wait = ts - is.readyNs
-		}
-		ks.stageQueue.Observe(time.Duration(wait))
-		ks.stageFetch.Observe(t1.Sub(t0))
-		ks.stageExec.Observe(t2.Sub(t1))
-		ks.stageStore.Observe(t3.Sub(t2))
-		if tr := n.tracer; tr != nil {
-			tr.Record(obs.Span{
-				Name: kd.Name, Cat: "kernel", Ph: obs.PhaseComplete,
-				TS: ts, Dur: t3.Sub(t0).Nanoseconds(), TID: w.id + 1,
-				Age: t.age, Index: is.coords,
-				WaitNs:   wait,
-				FetchNs:  t1.Sub(t0).Nanoseconds(),
-				KernelNs: t2.Sub(t1).Nanoseconds(),
-				StoreNs:  t3.Sub(t2).Nanoseconds(),
-			})
+	if timed {
+		t3 := time.Now()
+		ks.timedInsts.Add(1)
+		ks.dispatchNs.Add(int64(t1.Sub(t0) + t3.Sub(t2)))
+		ks.kernelNs.Add(int64(t2.Sub(t1)))
+
+		// Detailed metrics and tracing (nil handles are no-ops; with a
+		// registry or tracer attached timeAll covers every instance, so
+		// the histograms and spans below are never sampled).
+		n.mDispatches.Add(1)
+		n.hFetch.Observe(t1.Sub(t0))
+		n.hKernel.Observe(t2.Sub(t1))
+		n.hStore.Observe(t3.Sub(t2))
+		if n.stamp {
+			// t0 on the node's stage clock; with tracing on this equals the
+			// span timestamp, so queue wait is identical in both views.
+			ts := t0.Sub(n.clock).Nanoseconds()
+			wait := int64(0)
+			if is.readyNs > 0 && ts > is.readyNs {
+				wait = ts - is.readyNs
+			}
+			ks.stageQueue.Observe(time.Duration(wait))
+			ks.stageFetch.Observe(t1.Sub(t0))
+			ks.stageExec.Observe(t2.Sub(t1))
+			ks.stageStore.Observe(t3.Sub(t2))
+			if tr := n.tracer; tr != nil {
+				tr.Record(obs.Span{
+					Name: kd.Name, Cat: "kernel", Ph: obs.PhaseComplete,
+					TS: ts, Dur: t3.Sub(t0).Nanoseconds(), TID: w.id + 1,
+					Age: t.age, Index: is.coords,
+					WaitNs:   wait,
+					FetchNs:  t1.Sub(t0).Nanoseconds(),
+					KernelNs: t2.Sub(t1).Nanoseconds(),
+					StoreNs:  t3.Sub(t2).Nanoseconds(),
+				})
+			}
 		}
 	}
 
-	w.emit(event{isDone: true, t: t, inst: is, stores: stores, stopped: ctx.Stopped()})
-	n.releaseFrame(ks, fr)
-}
-
-// releaseFrame returns an execution frame to its kernel's pool, clearing the
-// context first so pooled frames do not pin fetched values between dispatches.
-func (n *Node) releaseFrame(ks *kernelState, fr *execFrame) {
+	done := event{isDone: true, t: t, inst: is, stores: stores, stopped: ctx.Stopped()}
+	w.emit(&done)
+	// The frame stays checked out in w.frames; clear the context so the
+	// cached frame does not pin fetched values between dispatches.
 	fr.ctx.Reset(0, nil)
-	ks.frames.Put(fr)
 }
 
 // runBody executes the kernel body, converting panics into errors so a buggy

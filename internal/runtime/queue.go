@@ -73,6 +73,28 @@ func (q *readyQueue) Push(b *batch) {
 	q.cond.Signal()
 }
 
+// PushBulk enqueues many batches under one lock acquisition with a single
+// consumer broadcast (see scheduler.PushBulk).
+func (q *readyQueue) PushBulk(bs []*batch) {
+	if len(bs) == 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	for _, b := range bs {
+		age := b.tracker.age
+		if _, ok := q.buckets[age]; !ok {
+			heap.Push(&q.ages, age)
+		}
+		q.buckets[age] = append(q.buckets[age], b)
+		q.queued += len(b.insts)
+	}
+	q.cond.Broadcast()
+}
+
 // popLocked removes the oldest-age batch, or nil when the queue is empty.
 // Caller holds mu.
 func (q *readyQueue) popLocked() *batch {

@@ -54,9 +54,19 @@ type Report struct {
 
 	// Scheduler queue high-water marks: the deepest the ready queue got
 	// (instances) and the largest analyzer event backlog observed (in event
-	// batches, the channel's unit).
+	// batches, the channel's unit). Under the sharded analyzer both are the
+	// maximum across shards, so concurrent shards cannot understate them.
 	MaxQueueDepth   int
 	MaxEventBacklog int
+
+	// AnalyzerShards is the shard count of the sharded dependency analyzer
+	// (0 when the serial reference analyzer ran). ShardEvents counts the
+	// events each shard processed and ShardMaxBacklog each shard's event
+	// backlog high-water mark; together they show how evenly the
+	// (kernel, age) hash spread the analyzer load.
+	AnalyzerShards  int
+	ShardEvents     []int64
+	ShardMaxBacklog []int
 
 	// Scheduler fast-path counters: batches taken from a peer's deque by the
 	// work-stealing scheduler (always zero under SchedGlobal) and event
@@ -100,6 +110,15 @@ type StageTotals struct {
 	StoreNs     int64 // store application + event emission
 	IdleNs      int64 // workers blocked on an empty ready queue
 	FlightNs    int64 // dist messages in flight (clock-offset corrected)
+
+	// Analyzer-clock lane (sharded analyzer only; zero under the serial
+	// reference analyzer): AnalyzeNs sums every shard's event/control
+	// processing busy time, AnalyzeMaxShardNs is the busiest single shard,
+	// and WallNs is the run's wall time — their ratio is a measured analyzer
+	// occupancy, replacing the inferred ready-wait heuristic.
+	AnalyzeNs         int64
+	AnalyzeMaxShardNs int64
+	WallNs            int64
 }
 
 // BusyNs is the dispatching part of the worker-clock stages.
@@ -122,17 +141,24 @@ func (s *StageTotals) Coverage(wall time.Duration) float64 {
 	return float64(s.AttributedNs()) / denom
 }
 
-// AnalyzerSaturated flags the paper's §VIII-B signature: instances spend far
-// longer waiting for the serial dependency analyzer to mark them ready than
-// workers spend dispatching them, while workers sit idle — adding workers
-// will not help until the analyzer is sharded. The thresholds (ready-wait >
-// 2× busy and idle > busy) are a heuristic, not a proof.
+// AnalyzerSaturated flags the paper's §VIII-B signature: the dependency
+// analyzer is the bottleneck and adding workers will not help. With the
+// sharded analyzer's measured busy fractions available, the flag is direct:
+// the busiest shard was occupied more than 75% of the wall time while workers
+// sat idle longer than they dispatched. Without measurements (serial
+// analyzer) it falls back to the inferred heuristic: instances spend far
+// longer waiting to be marked ready than workers spend dispatching them
+// (ready-wait > 2× busy and idle > busy).
 func (s *StageTotals) AnalyzerSaturated() bool {
 	busy := s.BusyNs()
+	if s.AnalyzeMaxShardNs > 0 && s.WallNs > 0 {
+		return 4*s.AnalyzeMaxShardNs > 3*s.WallNs && s.IdleNs > busy
+	}
 	return s.ReadyWaitNs > 2*busy && s.IdleNs > busy
 }
 
-// add folds other's totals into s.
+// add folds other's totals into s. Busy time sums; the busiest-shard mark and
+// wall take the maximum (per-node walls overlap, they do not concatenate).
 func (s *StageTotals) add(other *StageTotals) {
 	s.Workers += other.Workers
 	s.ReadyWaitNs += other.ReadyWaitNs
@@ -142,29 +168,95 @@ func (s *StageTotals) add(other *StageTotals) {
 	s.StoreNs += other.StoreNs
 	s.IdleNs += other.IdleNs
 	s.FlightNs += other.FlightNs
+	s.AnalyzeNs += other.AnalyzeNs
+	if other.AnalyzeMaxShardNs > s.AnalyzeMaxShardNs {
+		s.AnalyzeMaxShardNs = other.AnalyzeMaxShardNs
+	}
+	if other.WallNs > s.WallNs {
+		s.WallNs = other.WallNs
+	}
 }
 
-func (n *Node) buildReport(wall time.Duration, an *analyzer) *Report {
+// analyzerStats is the analyzer-side summary buildReport consumes, produced
+// by both implementations (analyzer.stats, shardedAnalyzer.stats) so the
+// report code is analyzer-agnostic. The high-water marks are already
+// aggregated (maximum across shards).
+type analyzerStats struct {
+	maxQueue   int
+	maxBacklog int
+	stalled    []string
+
+	shards          int // 0 for the serial analyzer
+	shardEvents     []int64
+	shardBacklogMax []int
+	analyzeNs       []int64 // per-shard event/control busy time
+}
+
+// stats summarizes the serial analyzer for the report.
+func (an *analyzer) stats(failed bool) analyzerStats {
+	st := analyzerStats{maxQueue: an.maxQueue, maxBacklog: an.maxBacklog}
+	if !failed {
+		st.stalled = an.stalled()
+	}
+	return st
+}
+
+// stats summarizes the sharded analyzer for the report, max-aggregating the
+// per-shard high-water marks (a sum would be meaningless for marks taken on
+// concurrent shards, and taking one shard's value would understate the run).
+func (sa *shardedAnalyzer) stats(failed bool) analyzerStats {
+	st := analyzerStats{shards: len(sa.shards)}
+	for _, s := range sa.shards {
+		if s.maxQueue > st.maxQueue {
+			st.maxQueue = s.maxQueue
+		}
+		if s.maxBacklog > st.maxBacklog {
+			st.maxBacklog = s.maxBacklog
+		}
+		st.shardEvents = append(st.shardEvents, s.events.Own())
+		st.shardBacklogMax = append(st.shardBacklogMax, s.maxBacklog)
+		st.analyzeNs = append(st.analyzeNs, s.busyNs)
+	}
+	if !failed {
+		st.stalled = sa.stalled()
+	}
+	return st
+}
+
+func (n *Node) buildReport(wall time.Duration, an analyzerStats) *Report {
 	r := &Report{
 		Wall:            wall,
 		FieldMemElems:   n.FieldMemoryElems(),
 		MaxQueueDepth:   an.maxQueue,
 		MaxEventBacklog: an.maxBacklog,
+		AnalyzerShards:  an.shards,
+		ShardEvents:     an.shardEvents,
+		ShardMaxBacklog: an.shardBacklogMax,
 		Steals:          n.mSteals.Own(),
 		EventBatches:    n.mEventBatches.Own(),
+		Stalled:         an.stalled,
 	}
 	n.gFieldMem.Set(int64(r.FieldMemElems))
 	for _, ks := range n.order {
+		inst := ks.ownInstances()
+		disp, kern := ks.ownDispatchNs(), ks.ownKernelNs()
+		// Without a tracer or registry, timing is sampled (timeSampleEvery):
+		// extrapolate the totals from the sampled mean so DispatchPer and
+		// KernelPer stay per-instance means either way.
+		if timed := ks.timedInsts.Load(); timed > 0 && timed < inst {
+			disp = disp * inst / timed
+			kern = kern * inst / timed
+		}
 		r.Kernels = append(r.Kernels, KernelStats{
 			Name:          ks.decl.Name,
-			Instances:     ks.ownInstances(),
-			DispatchTotal: time.Duration(ks.ownDispatchNs()),
-			KernelTotal:   time.Duration(ks.ownKernelNs()),
+			Instances:     inst,
+			DispatchTotal: time.Duration(disp),
+			KernelTotal:   time.Duration(kern),
 			StoreOps:      ks.ownStoreOps(),
 		})
 	}
 	if n.hIdle.enabled() {
-		st := &StageTotals{Workers: n.opts.Workers, IdleNs: n.hIdle.OwnNs()}
+		st := &StageTotals{Workers: n.opts.Workers, IdleNs: n.hIdle.OwnNs(), WallNs: wall.Nanoseconds()}
 		for _, ks := range n.order {
 			st.ReadyWaitNs += ks.stageReady.OwnNs()
 			st.QueueWaitNs += ks.stageQueue.OwnNs()
@@ -172,10 +264,13 @@ func (n *Node) buildReport(wall time.Duration, an *analyzer) *Report {
 			st.ExecNs += ks.stageExec.OwnNs()
 			st.StoreNs += ks.stageStore.OwnNs()
 		}
+		for _, ns := range an.analyzeNs {
+			st.AnalyzeNs += ns
+			if ns > st.AnalyzeMaxShardNs {
+				st.AnalyzeMaxShardNs = ns
+			}
+		}
 		r.Stages = st
-	}
-	if !n.failed() {
-		r.Stalled = an.stalled()
 	}
 	return r
 }
@@ -201,6 +296,25 @@ func MergeReports(reports ...*Report) *Report {
 		}
 		if r.MaxEventBacklog > merged.MaxEventBacklog {
 			merged.MaxEventBacklog = r.MaxEventBacklog
+		}
+		if r.AnalyzerShards > merged.AnalyzerShards {
+			merged.AnalyzerShards = r.AnalyzerShards
+		}
+		for i, ev := range r.ShardEvents {
+			if i < len(merged.ShardEvents) {
+				merged.ShardEvents[i] += ev
+			} else {
+				merged.ShardEvents = append(merged.ShardEvents, ev)
+			}
+		}
+		for i, bl := range r.ShardMaxBacklog {
+			if i < len(merged.ShardMaxBacklog) {
+				if bl > merged.ShardMaxBacklog[i] {
+					merged.ShardMaxBacklog[i] = bl
+				}
+			} else {
+				merged.ShardMaxBacklog = append(merged.ShardMaxBacklog, bl)
+			}
 		}
 		merged.Steals += r.Steals
 		merged.EventBatches += r.EventBatches
@@ -271,6 +385,10 @@ func (r *Report) Table() string {
 		fmt.Fprintf(&b, "queue: max depth %d insts, max event backlog %d batches, %d steals, %d event batches\n",
 			r.MaxQueueDepth, r.MaxEventBacklog, r.Steals, r.EventBatches)
 	}
+	if r.AnalyzerShards > 0 {
+		fmt.Fprintf(&b, "analyzer: %d shards, events per shard %v, max backlog per shard %v\n",
+			r.AnalyzerShards, r.ShardEvents, r.ShardMaxBacklog)
+	}
 	if r.SentMsgs > 0 || r.RecvMsgs > 0 {
 		fmt.Fprintf(&b, "transport: sent %d msgs / %d B, received %d msgs / %d B\n",
 			r.SentMsgs, r.SentBytes, r.RecvMsgs, r.RecvBytes)
@@ -313,6 +431,14 @@ func (r *Report) Attribution() string {
 		pct(s.AttributedNs()))
 	fmt.Fprintf(&b, "  %-12s %14s (instance-clock: analyzer-ready wait)\n", "ready-wait", fmtMillis(s.ReadyWaitNs))
 	fmt.Fprintf(&b, "  %-12s %14s (instance-clock: ready-queue wait)\n", "queue-wait", fmtMillis(s.QueueWaitNs))
+	if s.AnalyzeNs > 0 {
+		occ := "    -"
+		if s.WallNs > 0 {
+			occ = fmt.Sprintf("%4.1f%%", 100*float64(s.AnalyzeMaxShardNs)/float64(s.WallNs))
+		}
+		fmt.Fprintf(&b, "  %-12s %14s (analyzer-clock: shard busy time, busiest shard %s of wall)\n",
+			"analyze", fmtMillis(s.AnalyzeNs), occ)
+	}
 	if s.FlightNs > 0 {
 		fmt.Fprintf(&b, "  %-12s %14s (instance-clock: dist transport flight)\n", "flight", fmtMillis(s.FlightNs))
 	}

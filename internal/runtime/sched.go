@@ -32,6 +32,10 @@ const (
 // they would block).
 type scheduler interface {
 	Push(b *batch)
+	// PushBulk enqueues many batches with amortized synchronization: one
+	// epoch update and one waiter wakeup for the whole group. The sharded
+	// analyzer uses it for instance-creation bursts.
+	PushBulk(bs []*batch)
 	// TryPop returns a batch without blocking, or false when no work is
 	// currently available (which does not imply the queue is closed).
 	TryPop(worker int) (*batch, bool)
@@ -187,6 +191,38 @@ func (s *stealScheduler) Push(b *batch) {
 	for {
 		e := s.epoch.Load()
 		if int64(age) >= e || s.epoch.CompareAndSwap(e, int64(age)) {
+			break
+		}
+	}
+	s.version.Add(1)
+	if s.waiters.Load() > 0 {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// PushBulk enqueues a burst of batches: per-batch deque pushes (round-robin,
+// like Push) but a single epoch CAS with the group's minimum age and a single
+// waiter broadcast, so creation bursts do not pay per-batch wakeup cost.
+func (s *stealScheduler) PushBulk(bs []*batch) {
+	if len(bs) == 0 || s.closed.Load() {
+		return
+	}
+	minAge := int64(math.MaxInt64)
+	var insts int64
+	for _, b := range bs {
+		age := b.tracker.age
+		if int64(age) < minAge {
+			minAge = int64(age)
+		}
+		s.deques[int(s.rr.Add(1))%len(s.deques)].push(age, b)
+		insts += int64(len(b.insts))
+	}
+	s.queued.Add(insts)
+	for {
+		e := s.epoch.Load()
+		if minAge >= e || s.epoch.CompareAndSwap(e, minAge) {
 			break
 		}
 	}

@@ -138,10 +138,12 @@ func TestDispatchTracingOffAllocFree(t *testing.T) {
 	if n.stamp {
 		t.Fatal("node without observability has stamping enabled")
 	}
-	w := &workerState{n: n, id: 0, buf: make([]event, 0, 8)}
+	w := newWorkerState(n, 0)
 	n.exec(tr, is, w) // warm the frame pool
 	allocs := testing.AllocsPerRun(200, func() {
-		w.buf = w.buf[:0]
+		for j := range w.bufs {
+			w.bufs[j] = w.bufs[j][:0]
+		}
 		n.exec(tr, is, w)
 	})
 	if allocs != 0 {

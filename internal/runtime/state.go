@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -176,7 +177,17 @@ type kernelState struct {
 	decl  *core.KernelDecl
 	binds []varBind // one per index variable, in declaration order
 
+	// idx is the kernel's position in Node.order; the sharded analyzer's
+	// (kernel, age) -> shard hash is computed from it.
+	idx int
+
 	fullMask uint32 // bits of all fetches (the "fully satisfied" mask)
+
+	// needsInstMap is true when the kernel has at least one element fetch:
+	// only then does satisfaction ever look an instance up by coordinates.
+	// Kernels without element fetches (whole/slab only) skip the per-instance
+	// map insert on the sharded analyzer's creation path.
+	needsInstMap bool
 
 	// Dispatch plans: precompiled fetch/store coordinates (same order as
 	// decl.Fetches/decl.Stores) and a pool of reusable execution frames, so
@@ -187,7 +198,10 @@ type kernelState struct {
 
 	ages map[int]*ageTracker
 
-	gran int // instances per dispatch batch (data-granularity coarsening)
+	// gran is the instances-per-dispatch-batch data granularity (§V-A).
+	// Atomic because under the sharded analyzer, trackers of the same kernel
+	// at different ages live on different shards, and adapt() may race.
+	gran atomic.Int32
 
 	// remote marks a kernel executed on another node: no local instances,
 	// completions arrive via InjectRemoteDone.
@@ -204,6 +218,15 @@ type kernelState struct {
 	dispatchNs counterWithBaseline
 	kernelNs   counterWithBaseline
 	storeOps   counterWithBaseline
+
+	// timedInsts counts the instances whose dispatch/kernel times were
+	// actually measured. Without a tracer or metrics registry the dispatch
+	// path samples one instance in timeSampleEvery (time.Now is a measurable
+	// fraction of a small instance's dispatch cost), so dispatchNs/kernelNs
+	// hold sampled sums; the report extrapolates totals by instances/timed
+	// and adapt() divides by the timed count. Per-node (not baselined): a
+	// shared registry never sees it.
+	timedInsts atomic.Int64
 
 	// Stage timers (ISSUE 6): the fixed per-instance latency decomposition
 	// behind the attribution report. Enabled (non-nil) only when the node
@@ -238,6 +261,11 @@ type ageTracker struct {
 	done    int
 	pending []*instState // ready instances not yet flushed into a batch
 
+	// all lists every instance when the sharded analyzer skips the inst map
+	// (kernels without element fetches never look instances up by coordinate);
+	// it exists only so completed trackers can recycle their instances.
+	all []*instState
+
 	completed bool
 }
 
@@ -254,6 +282,20 @@ type fieldState struct {
 	rangeOf []rangeEdge
 
 	ages map[int]*fieldAgeState
+
+	// Store-event routing tables for the sharded analyzer, precompiled at
+	// NewNode. A store to generation g only concerns shards owning a tracker
+	// whose element-fetch satisfaction or index-range growth can depend on
+	// it: elemRoutes lists the age-variable element-fetch consumers (tracker
+	// age g-off), growRoutes the age-variable range bindings (relevant only
+	// when the store grew the field). Absolute-age edges touch every tracker
+	// age, so they force a broadcast. An event whose route set is empty is
+	// dropped at the worker — whole/slab fetches are satisfied by the
+	// completeness broadcast, not by store events.
+	elemRoutes    []shardRoute
+	growRoutes    []shardRoute
+	elemBroadcast bool
+	growBroadcast bool
 
 	// agedConsumers counts consumer edges with age-variable fetches; used
 	// by garbage collection (an age is collectable when that many consumer
@@ -284,6 +326,13 @@ type rangeEdge struct {
 	age    core.AgeExpr
 }
 
+// shardRoute is one precompiled store-event destination: the consuming
+// kernel's tracker at age (store generation - off).
+type shardRoute struct {
+	ks  *kernelState
+	off int
+}
+
 // fieldAgeState tracks completeness of one field generation.
 type fieldAgeState struct {
 	expected      int // producer kernel-ages that must complete
@@ -295,6 +344,19 @@ type fieldAgeState struct {
 
 func (t *ageTracker) String() string {
 	return fmt.Sprintf("%s(age=%d, %d/%d done, domainFinal=%v)", t.ks.decl.Name, t.age, t.done, t.total, t.domainFinal)
+}
+
+// boxCells is the cell count of box(ext): the product of the extents, zero
+// for a nil box (nothing created yet).
+func boxCells(ext []int) int {
+	if len(ext) == 0 {
+		return 0
+	}
+	p := 1
+	for _, e := range ext {
+		p *= e
+	}
+	return p
 }
 
 // newCells visits every coordinate in box(to) that is not in box(from). The

@@ -67,7 +67,7 @@ emit() {
 
 case "$suite" in
 scheduler)
-	emit BENCH_scheduler.json 'Fig9MJPEG|Fig10KMeans|Dispatch' . ./internal/runtime/
+	emit BENCH_scheduler.json 'Fig9MJPEG|Fig10KMeans|Dispatch|Analyzer' . ./internal/runtime/
 	;;
 memory)
 	emit BENCH_memory.json 'Fig9MJPEG$|Fig10KMeans$|FieldStoreSlab|WireEncodeFrame' .
@@ -79,7 +79,7 @@ obs)
 	emit BENCH_obs.json 'ObsOverhead' .
 	;;
 all)
-	emit BENCH_scheduler.json 'Fig9MJPEG|Fig10KMeans|Dispatch' . ./internal/runtime/
+	emit BENCH_scheduler.json 'Fig9MJPEG|Fig10KMeans|Dispatch|Analyzer' . ./internal/runtime/
 	emit BENCH_memory.json 'Fig9MJPEG$|Fig10KMeans$|FieldStoreSlab|WireEncodeFrame' .
 	emit BENCH_transport.json 'TransportMJPEG' .
 	emit BENCH_obs.json 'ObsOverhead' .
