@@ -35,13 +35,13 @@ bench:
 # regressions that reintroduce boxing or per-element allocation on the bulk
 # store/fetch path.
 bench-mem:
-	$(GO) test -bench 'FieldStoreSlab|WireEncodeFrame' -benchmem -benchtime=100x -count=1 -run xxx .
+	$(GO) test -bench 'FieldStoreSlab|WireEncodeFrame|FieldFetchView' -benchmem -benchtime=100x -count=1 -run xxx .
 
 # bench-transport is the distributed-transport smoke gate (also run by
 # ci.sh): one framed and one gob-per-store distributed MJPEG encode over TCP
 # loopback, enough to catch protocol or framing breaks on the store path.
 bench-transport:
-	$(GO) test -bench 'TransportMJPEG' -benchtime=1x -count=1 -run xxx .
+	$(GO) test -bench 'TransportMJPEG|FrameEncodeScatter' -benchtime=1x -count=1 -run xxx .
 
 # bench-obs is the observability smoke gate (also run by ci.sh): one run of
 # the figure 9/10 workloads under each observability setting (off, metrics,

@@ -338,6 +338,80 @@ func BenchmarkWireEncodeFrame(b *testing.B) {
 	}
 }
 
+// BenchmarkFieldFetchView measures the zero-copy whole-generation fetch: a
+// read-only view of one chroma frame component aliases the generation slab,
+// so the per-dispatch cost is a refcount and a header write regardless of
+// payload size. The "copy" sub-benchmark is the pre-view SnapshotInto path on
+// the same generation, for the MB/op delta.
+func BenchmarkFieldFetchView(b *testing.B) {
+	a := field.NewArray(field.Int32, 396, 64)
+	for i := 0; i < a.Len(); i++ {
+		a.SetFlat(field.Int64Val(int64(i%255-128)), i)
+	}
+	f := field.New("bench", field.Int32, 2, true)
+	if _, err := f.StoreAll(0, a); err != nil {
+		b.Fatal(err)
+	}
+	f.MarkComplete(0)
+	var dst field.Array
+	b.Run("view", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tok, ok := f.FetchViewAll(0, &dst)
+			if !ok {
+				b.Fatal("view refused")
+			}
+			tok.Release()
+		}
+	})
+	b.Run("copy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.SnapshotInto(0, &dst)
+		}
+	})
+}
+
+// BenchmarkFrameEncodeScatter measures building one store frame around a
+// chroma-frame payload. The scatter path records the slab as a raw segment
+// (no payload copy until the socket writev); the flatten sub-benchmark adds
+// the one contiguous copy a non-FrameConn transport would pay.
+func BenchmarkFrameEncodeScatter(b *testing.B) {
+	a := field.NewArray(field.Int32, 396, 64)
+	for i := 0; i < a.Len(); i++ {
+		a.SetFlat(field.Int64Val(int64(i%255-128)), i)
+	}
+	sn := runtime.StoreNotice{
+		Field: "bench", Age: 0, Whole: true, Value: field.ArrayVal(a),
+	}
+	b.Run("scatter", func(b *testing.B) {
+		f := runtime.GetStoreFrame()
+		defer runtime.PutStoreFrame(f)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.Reset("bench", 0)
+			if err := f.Add(sn); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(f.Len()))
+		}
+	})
+	b.Run("flatten", func(b *testing.B) {
+		f := runtime.GetStoreFrame()
+		defer runtime.PutStoreFrame(f)
+		var out []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.Reset("bench", 0)
+			if err := f.Add(sn); err != nil {
+				b.Fatal(err)
+			}
+			out = f.AppendTo(out[:0])
+			b.SetBytes(int64(len(out)))
+		}
+	})
+}
+
 // runTransportMJPEG executes one distributed MJPEG encode across two TCP
 // loopback workers and returns the total bytes that crossed the master's
 // sockets (both directions, gob envelope included).

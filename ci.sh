@@ -19,10 +19,10 @@ go test -race ./...
 go test -bench 'Fig9|Fig10|Dispatch|Analyzer' -benchtime=1x -count=1 .
 # Memory-path smoke gate (`make bench-mem`): the typed slab store and
 # wire-encode benchmarks with allocation reporting.
-go test -bench 'FieldStoreSlab|WireEncodeFrame' -benchmem -benchtime=100x -count=1 -run xxx .
+go test -bench 'FieldStoreSlab|WireEncodeFrame|FieldFetchView' -benchmem -benchtime=100x -count=1 -run xxx .
 # Distributed-transport smoke gate (`make bench-transport`): one framed and
 # one gob-per-store distributed MJPEG encode over TCP loopback.
-go test -bench 'TransportMJPEG' -benchtime=1x -count=1 -run xxx .
+go test -bench 'TransportMJPEG|FrameEncodeScatter' -benchtime=1x -count=1 -run xxx .
 # Observability smoke gate (`make bench-obs`): the figure 9/10 workloads under
 # each observability setting, and the tracing-off dispatch path pinned at
 # zero allocations per instance.

@@ -55,6 +55,7 @@ func runInstrumented(prog *core.Program, opts runtime.Options) (*runtime.Report,
 	opts.Scheduler = schedulerKind()
 	opts.Analyzer = analyzerKind()
 	opts.AnalyzerShards = *shardsFlag
+	opts.FetchCopy = *copyFlag
 	node, err := runtime.NewNode(prog, opts)
 	if err != nil {
 		return nil, err

@@ -37,6 +37,7 @@ var (
 	schedFlag   = flag.String("scheduler", "stealing", "ready-queue implementation: stealing (work-stealing deques) or global (reference queue)")
 	anFlag      = flag.String("analyzer", "sharded", "dependency-analyzer implementation: sharded (per-shard event channels) or serial (reference)")
 	shardsFlag  = flag.Int("shards", 0, "analyzer shard count for -analyzer=sharded (0: auto from GOMAXPROCS)")
+	copyFlag    = flag.Bool("fetchcopy", false, "disable zero-copy fetch views and snapshot every fetch (reference path)")
 )
 
 // schedulerKind maps the -scheduler flag onto Options.Scheduler.

@@ -29,14 +29,18 @@ type genKey struct {
 // every MDone — preserves the per-origin stores-before-done order the master
 // broker and downstream consumers rely on.
 //
-// Frames are never reused after emission: the in-process transport moves
-// *Msg by pointer, so a recycled buffer would alias an in-flight message.
+// Frames come from the runtime frame pool and are handed to emit together
+// with the routing envelope (whose Frame field is left nil): the transport
+// either writes the frame's segments scatter-gather and recycles it, or
+// flattens it into a fresh slice first — the in-process transport moves *Msg
+// by pointer, so a recycled buffer must never ride inside an in-flight
+// message.
 type storeBatcher struct {
 	mu     sync.Mutex
 	frames map[genKey]*runtime.StoreFrame
 	traces map[genKey]uint64
 	order  []genKey
-	emit   func(*Msg)
+	emit   func(*Msg, *runtime.StoreFrame)
 
 	// Causal tracing (nil tracer disables it and keeps frames in the
 	// untraced v1 layout): each frame gets a cluster-unique trace id —
@@ -55,7 +59,7 @@ type storeBatcher struct {
 // newStoreBatcher creates a batcher that hands finished frames to emit.
 // Metrics handles may be nil (obs metrics are nil-safe); a nil tracer
 // disables causal trace ids.
-func newStoreBatcher(emit func(*Msg), reg *obs.Registry, nodeID string, tracer *obs.Tracer) *storeBatcher {
+func newStoreBatcher(emit func(*Msg, *runtime.StoreFrame), reg *obs.Registry, nodeID string, tracer *obs.Tracer) *storeBatcher {
 	h := fnv.New64a()
 	h.Write([]byte(nodeID))
 	return &storeBatcher{
@@ -81,7 +85,7 @@ func (b *storeBatcher) add(sn runtime.StoreNotice) error {
 	k := genKey{field: sn.Field, age: sn.Age}
 	f := b.frames[k]
 	if f == nil {
-		f = &runtime.StoreFrame{}
+		f = runtime.GetStoreFrame()
 		if b.tracer != nil {
 			// Low 32 bits are the local sequence (nonzero), high bits the
 			// node seed: unique across the cluster for practical runs.
@@ -130,7 +134,7 @@ func (b *storeBatcher) emitLocked(k genKey, f *runtime.StoreFrame) {
 	b.mBytes.Add(int64(f.Len()))
 	b.mStores.Add(int64(f.Entries()))
 	emitFrom := b.tracer.Now()
-	b.emit(&Msg{Kind: MStoreFrame, Field: k.field, Age: k.age, Frame: f.Bytes(), Trace: trace})
+	b.emit(&Msg{Kind: MStoreFrame, Field: k.field, Age: k.age, Trace: trace}, f)
 	if tr := b.tracer; tr != nil {
 		// Flow start of the frame's causal journey: handing the encoded
 		// generation to the transport.

@@ -1,0 +1,174 @@
+package dist
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/runtime"
+)
+
+// tcpPair returns a connected TCP loopback pair (client, server).
+func tcpPair(t *testing.T) (Conn, Conn) {
+	t.Helper()
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	dialed := make(chan Conn, 1)
+	errs := make(chan error, 1)
+	go func() {
+		c, err := DialTCP(l.Addr())
+		if err != nil {
+			errs <- err
+			return
+		}
+		dialed <- c
+	}()
+	srv, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cli Conn
+	select {
+	case cli = <-dialed:
+	case err := <-errs:
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	return cli, srv
+}
+
+// scatterFrame builds a store frame whose payload is large enough to be
+// recorded as raw segments rather than copied into the header buffer.
+func scatterFrame(t *testing.T) *runtime.StoreFrame {
+	t.Helper()
+	vals := make([]float64, 512)
+	for i := range vals {
+		vals[i] = float64(i) * 0.25
+	}
+	f := runtime.GetStoreFrame()
+	f.Reset("pixels", 3)
+	if err := f.Add(runtime.StoreNotice{
+		Field: "pixels", Age: 3, Whole: true,
+		Value: field.ArrayVal(field.ArrayFromFloat64(vals)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add(runtime.StoreNotice{
+		Field: "pixels", Age: 3, Elem: []int{7},
+		Value: field.Float64Val(1.5),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Segments()) < 2 { // header buf + ≥1 raw slab segment
+		t.Fatalf("payload not recorded scatter-gather: %d segments", len(f.Segments()))
+	}
+	return f
+}
+
+// TestTCPSendFrameRoundTrip: a scatter-gather SendFrame must arrive as a
+// regular MStoreFrame message — Frame materialized bit-identically to the
+// flattened encoding, FrameLen zeroed, envelope fields intact, and the
+// sender's shared *Msg unmutated.
+func TestTCPSendFrameRoundTrip(t *testing.T) {
+	cli, srv := tcpPair(t)
+	fc, ok := cli.(FrameConn)
+	if !ok {
+		t.Fatal("TCP connection does not implement FrameConn")
+	}
+
+	f := scatterFrame(t)
+	want := f.AppendTo(nil)
+	m := &Msg{Kind: MStoreFrame, Field: "pixels", Age: 3, Trace: 0xBEEF}
+	if err := fc.SendFrame(m, f.Segments()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Frame != nil || m.FrameLen != 0 {
+		t.Fatalf("SendFrame mutated the shared envelope: Frame=%d bytes FrameLen=%d",
+			len(m.Frame), m.FrameLen)
+	}
+
+	got, err := srv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != MStoreFrame || got.Field != "pixels" || got.Age != 3 || got.Trace != 0xBEEF {
+		t.Fatalf("envelope corrupted: %+v", got)
+	}
+	if got.FrameLen != 0 {
+		t.Fatalf("receiver exposed split form: FrameLen=%d", got.FrameLen)
+	}
+	if !bytes.Equal(got.Frame, want) {
+		t.Fatalf("raw frame differs: got %d bytes, want %d", len(got.Frame), len(want))
+	}
+	var notices []runtime.StoreNotice
+	if err := runtime.DecodeStoreFrame(got.Frame, func(sn runtime.StoreNotice) error {
+		notices = append(notices, sn)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(notices) != 2 || notices[0].Field != "pixels" || notices[0].Age != 3 || !notices[0].Whole {
+		t.Fatalf("decoded frame wrong: %+v", notices)
+	}
+	runtime.PutStoreFrame(f)
+}
+
+// TestTCPSendFrameInterleaved proves the raw-bytes framing leaves the gob
+// stream aligned: plain Sends before, between, and after SendFrames must all
+// arrive intact and in order.
+func TestTCPSendFrameInterleaved(t *testing.T) {
+	cli, srv := tcpPair(t)
+	fc := cli.(FrameConn)
+
+	f := scatterFrame(t)
+	want := f.AppendTo(nil)
+	defer runtime.PutStoreFrame(f)
+
+	if err := cli.Send(&Msg{Kind: MRegister, NodeID: "n0"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := fc.SendFrame(&Msg{Kind: MStoreFrame, Field: "pixels", Age: i}, f.Segments()); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Send(&Msg{Kind: MDone, Field: "pixels", Age: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if m, err := srv.Recv(); err != nil || m.Kind != MRegister || m.NodeID != "n0" {
+		t.Fatalf("first message: %+v, %v", m, err)
+	}
+	for i := 0; i < 3; i++ {
+		m, err := srv.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Kind != MStoreFrame || m.Age != i || !bytes.Equal(m.Frame, want) {
+			t.Fatalf("frame %d corrupted: kind=%v age=%d len=%d", i, m.Kind, m.Age, len(m.Frame))
+		}
+		m, err = srv.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Kind != MDone || m.Age != i {
+			t.Fatalf("done %d corrupted: %+v", i, m)
+		}
+	}
+
+	// Master-forward shape: a received frame goes back out as one raw buffer.
+	if err := fc.SendFrame(&Msg{Kind: MStoreFrame, Field: "pixels", Age: 9}, net.Buffers{want}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := srv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Age != 9 || !bytes.Equal(m.Frame, want) {
+		t.Fatalf("forwarded frame corrupted: age=%d len=%d", m.Age, len(m.Frame))
+	}
+}

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"net"
 	"time"
 
 	"repro/internal/core"
@@ -276,7 +277,15 @@ func RunMaster(cfg MasterConfig, conns []Conn) (*MasterResult, error) {
 			if i == from {
 				continue
 			}
-			if err := conns[i].Send(m); err != nil {
+			// Frame payloads skip gob on capable transports: the broker
+			// writes the received bytes raw after a copied envelope, so a
+			// frame is gob-encoded at most zero times on the fan-out path.
+			// SendFrame never mutates m, which all subscribers share.
+			if fc, ok := conns[i].(FrameConn); ok && len(m.Frame) > 0 {
+				if err := fc.SendFrame(m, net.Buffers{m.Frame}); err != nil {
+					return err
+				}
+			} else if err := conns[i].Send(m); err != nil {
 				return err
 			}
 			forwarded[i]++

@@ -97,6 +97,14 @@ type Msg struct {
 	// Trace mirrors the frame's causal trace id (0 when tracing is off).
 	Frame []byte
 	Trace uint64
+	// FrameLen carries the frame payload out-of-band: a transport that
+	// supports scatter-gather sends (FrameConn) encodes the envelope with
+	// Frame nil and FrameLen set, then writes the raw frame bytes directly
+	// after it on the stream. Recv materializes the bytes back into Frame
+	// and zeroes FrameLen, so receivers never observe the split form. Gob
+	// omits zero fields, so envelopes without a raw frame are byte-
+	// identical to before.
+	FrameLen int
 
 	// SentNs is the sender's wall clock (UnixNano) when the message was
 	// handed to the transport. Stamped only on freshly allocated messages —

@@ -294,7 +294,11 @@ func TestWorkerReleasePoolReuse(t *testing.T) {
 // order; emitted frames must decode back to the original notices.
 func TestStoreBatcherFlush(t *testing.T) {
 	var msgs []*Msg
-	b := newStoreBatcher(func(m *Msg) { msgs = append(msgs, m) }, nil, "test", nil)
+	b := newStoreBatcher(func(m *Msg, f *runtime.StoreFrame) {
+		m.Frame = f.AppendTo(nil)
+		msgs = append(msgs, m)
+		runtime.PutStoreFrame(f)
+	}, nil, "test", nil)
 
 	for i := 0; i < frameFlushEntries; i++ {
 		if err := b.add(runtime.StoreNotice{Field: "f", Age: 1, Elem: []int{i}, Value: field.Int32Val(int32(i))}); err != nil {

@@ -15,6 +15,7 @@
 package dist
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -28,6 +29,17 @@ type Conn interface {
 	Send(*Msg) error
 	Recv() (*Msg, error)
 	Close() error
+}
+
+// FrameConn is implemented by transports that can send a store-frame payload
+// scatter-gather style: the envelope is encoded with Frame nil and FrameLen
+// set, then the segment vector is written raw (writev) after it, so slab
+// bytes reach the socket without an intermediate contiguous copy. SendFrame
+// must not mutate m — the broker shares one envelope across subscribers —
+// and must not retain segs past the call.
+type FrameConn interface {
+	Conn
+	SendFrame(m *Msg, segs net.Buffers) error
 }
 
 // ConnStats holds cumulative transport counters for one connection end.
@@ -140,7 +152,11 @@ type tcpConn struct {
 	nc  net.Conn
 	enc *gob.Encoder
 	dec *gob.Decoder
-	mu  sync.Mutex
+	// br feeds the decoder and the raw frame reads after SendFrame-split
+	// envelopes. gob uses it as an io.ByteReader and so never reads ahead
+	// past a message boundary, leaving the raw frame bytes for Recv.
+	br *bufio.Reader
+	mu sync.Mutex
 	connStats
 }
 
@@ -180,7 +196,8 @@ func DialTCP(addr string) (Conn, error) {
 func newTCPConn(nc net.Conn) Conn {
 	c := &tcpConn{nc: nc}
 	c.enc = gob.NewEncoder(countingWriter{w: nc, n: &c.sentBytes})
-	c.dec = gob.NewDecoder(countingReader{r: nc, n: &c.recvBytes})
+	c.br = bufio.NewReader(countingReader{r: nc, n: &c.recvBytes})
+	c.dec = gob.NewDecoder(c.br)
 	return c
 }
 
@@ -194,10 +211,51 @@ func (c *tcpConn) Send(m *Msg) error {
 	return nil
 }
 
+// SendFrame implements FrameConn: the envelope goes through gob with
+// FrameLen announcing the payload, then the segments hit the socket raw via
+// net.Buffers (writev on platforms that support it) — no contiguous copy of
+// the frame is ever built on the send side.
+func (c *tcpConn) SendFrame(m *Msg, segs net.Buffers) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	env := *m // the caller may share m across subscribers; never mutate it
+	env.Frame = nil
+	env.FrameLen = total
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&env); err != nil {
+		return err
+	}
+	n, err := segs.WriteTo(c.nc)
+	c.sentBytes.Add(n)
+	if err != nil {
+		return err
+	}
+	c.sentMsgs.Add(1)
+	return nil
+}
+
+// maxRecvFrameLen bounds the raw frame allocation on receive, so a corrupt
+// or malicious FrameLen cannot demand unbounded memory.
+const maxRecvFrameLen = 1 << 30
+
 func (c *tcpConn) Recv() (*Msg, error) {
 	m := &Msg{}
 	if err := c.dec.Decode(m); err != nil {
 		return nil, err
+	}
+	if m.FrameLen != 0 {
+		if m.FrameLen < 0 || m.FrameLen > maxRecvFrameLen {
+			return nil, fmt.Errorf("dist: frame length %d out of range", m.FrameLen)
+		}
+		raw := make([]byte, m.FrameLen)
+		if _, err := io.ReadFull(c.br, raw); err != nil {
+			return nil, fmt.Errorf("dist: reading raw store frame: %w", err)
+		}
+		m.Frame = raw
+		m.FrameLen = 0
 	}
 	c.recvMsgs.Add(1)
 	return m, nil

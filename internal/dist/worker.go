@@ -145,6 +145,28 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 			}
 		}
 	}
+	// sendFrame routes a batched store frame: scatter-gather on transports
+	// that support it (slab bytes go straight to the socket), flattened into
+	// a fresh slice otherwise (the in-process transport moves *Msg by
+	// pointer, so a pooled buffer must not ride inside it). Either way the
+	// frame is recycled afterwards.
+	sendFrame := func(m *Msg, f *runtime.StoreFrame) {
+		m.SentNs = time.Now().UnixNano()
+		var err error
+		if fc, ok := conn.(FrameConn); ok {
+			err = fc.SendFrame(m, f.Segments())
+		} else {
+			m.Frame = f.AppendTo(nil)
+			err = conn.Send(m)
+		}
+		runtime.PutStoreFrame(f)
+		if err != nil {
+			select {
+			case sendErr <- err:
+			default:
+			}
+		}
+	}
 
 	reg := cfg.Metrics
 	if reg == nil {
@@ -172,7 +194,7 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 	// stamps each frame with a causal trace id and records the emit span.
 	var batcher *storeBatcher
 	if !cfg.DisableFrames {
-		batcher = newStoreBatcher(send, reg, cfg.NodeID, cfg.Tracer)
+		batcher = newStoreBatcher(sendFrame, reg, cfg.NodeID, cfg.Tracer)
 	}
 
 	// Flight accounting: master-stamped pings measured against this node's

@@ -19,6 +19,13 @@ type Array struct {
 	kind    Kind
 	extents []int
 	data    slab
+
+	// view marks an array whose slab aliases a field generation
+	// (Field.FetchViewAll/FetchViewSlice) instead of owning its storage.
+	// Boxed mutations (Set/SetFlat/Put/Grow) copy-on-write through unshare;
+	// the typed accessors expose the aliased backing and must be treated as
+	// read-only by view holders.
+	view bool
 }
 
 // NewArray creates an array with the given element kind and extents. A rank-1
@@ -181,11 +188,29 @@ func (a *Array) Set(v Value, idx ...int) {
 	if off < 0 {
 		panic(fmt.Sprintf("field: set %v out of bounds for extents %v", idx, a.extents))
 	}
+	a.unshare()
 	a.data.set(a.kind, off, v)
 }
 
 // SetFlat stores v at flat offset i in row-major order.
-func (a *Array) SetFlat(v Value, i int) { a.data.set(a.kind, i, v) }
+func (a *Array) SetFlat(v Value, i int) {
+	a.unshare()
+	a.data.set(a.kind, i, v)
+}
+
+// unshare materializes a private copy of a view array's aliased backing
+// before a mutation, so writes never reach the field generation the view
+// came from.
+func (a *Array) unshare() {
+	if !a.view {
+		return
+	}
+	src := a.data
+	a.view = false
+	a.data = slab{class: src.class}
+	a.data.alloc(src.len(), src.len())
+	a.data.copyRange(0, &src, 0, src.len())
+}
 
 // Put stores v at the given coordinates, growing the array as needed so that
 // every coordinate is in range. This implements the kernel language's
@@ -235,6 +260,10 @@ func (a *Array) Grow(extents ...int) {
 	if same {
 		return
 	}
+	// Growing a view must not touch the aliased generation (in particular a
+	// classStr resize appends to the shared arena); take a private copy
+	// first.
+	a.unshare()
 	n := 1
 	onlyOuter := true
 	for d, e := range extents {
@@ -344,6 +373,12 @@ func (a *Array) resetShape(k Kind, ext []int) {
 	}
 	cls := classOf(k)
 	a.kind = k
+	if a.view {
+		// A view's slab belongs to a field generation: never reuse it as a
+		// copy destination. Drop the alias and allocate privately below.
+		a.view = false
+		a.data = slab{class: cls}
+	}
 	if a.data.class != cls {
 		a.data = newSlab(k, n)
 		return
@@ -351,14 +386,48 @@ func (a *Array) resetShape(k Kind, ext []int) {
 	if n <= a.data.capacity() {
 		// Zero only matters for callers that do not overwrite every slot;
 		// all resetShape callers overwrite, but stale classVal references
-		// would pin memory, so drop them.
-		if cls == classVal {
+		// would pin memory (and a stale classStr arena would grow without
+		// bound), so drop them.
+		if cls == classVal || cls == classStr {
 			a.data.clearFull()
 		}
 		a.data.reslice(n)
 		return
 	}
 	a.data.alloc(n, n)
+}
+
+// aliasSlab points the array at n elements of src starting at flat offset
+// base, without copying: the backing slices alias src (three-index sliced so
+// appends can never spill into the generation), extents are copied from ext,
+// and the array is marked as a view. Only Field view fetches call this.
+func (a *Array) aliasSlab(k Kind, ext []int, src *slab, base, n int) {
+	if cap(a.extents) >= len(ext) {
+		a.extents = a.extents[:len(ext)]
+		copy(a.extents, ext)
+	} else {
+		a.extents = append([]int(nil), ext...)
+	}
+	a.kind = k
+	a.view = true
+	d := slab{class: src.class}
+	switch src.class {
+	case classU8:
+		d.u8 = src.u8[base : base+n : base+n]
+	case classI32:
+		d.i32 = src.i32[base : base+n : base+n]
+	case classI64:
+		d.i64 = src.i64[base : base+n : base+n]
+	case classF64:
+		d.f64 = src.f64[base : base+n : base+n]
+	case classStr:
+		d.off = src.off[base : base+n : base+n]
+		d.lens = src.lens[base : base+n : base+n]
+		d.str = src.str // offsets are arena-absolute
+	default:
+		d.vs = src.vs[base : base+n : base+n]
+	}
+	a.data = d
 }
 
 // ResetEmpty repurposes the array in place as an empty array of the given

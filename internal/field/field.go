@@ -3,6 +3,7 @@ package field
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrWriteTwice is wrapped by errors returned when write-once semantics are
@@ -39,6 +40,15 @@ type ageStore struct {
 	written  []bool
 	writes   int
 	complete bool
+
+	// View lifetime: views counts live read-only views aliasing data (see
+	// FetchViewAll/FetchViewSlice); detached marks a generation dropped from
+	// its field while views were still in flight. Recycling into the age
+	// pools happens exactly once, by whichever of "last view released" and
+	// "generation dropped" runs second — the CompareAndSwap on detached is
+	// the claim.
+	views    atomic.Int32
+	detached atomic.Bool
 }
 
 // agePools recycles dropped generations per storage class. Pooled stores are
@@ -69,6 +79,10 @@ func (s *ageStore) reset(rank int) {
 	s.written = s.written[:0]
 	s.writes = 0
 	s.complete = false
+	// Defensive: a correctly recycled store reaches the pool with no views
+	// and detached already consumed.
+	s.views.Store(0)
+	s.detached.Store(false)
 }
 
 // DrainAgePoolsForTest empties the package-level generation pools so a test
@@ -82,14 +96,49 @@ func DrainAgePoolsForTest() {
 	}
 }
 
-// recycle returns a dropped generation to its class pool. String/Any slabs
-// are cleared eagerly so dropped payload references are released now, not at
-// next reuse.
+// recycle returns a dropped generation to its class pool. Any slabs are
+// cleared eagerly so dropped payload references are released now, not at next
+// reuse; String slabs truncate their arena for the same reason.
 func recycleAge(s *ageStore) {
-	if s.data.class == classVal {
+	if s.data.class == classVal || s.data.class == classStr {
 		s.data.clearFull()
 	}
 	agePools[s.data.class].Put(s)
+}
+
+// detach removes a generation from circulation on the drop path: recycle
+// immediately when no views alias its slab, otherwise leave the recycle to
+// the last ViewToken.Release. New views cannot appear — the caller holds the
+// field lock and has already unlinked the store from f.ages.
+func (s *ageStore) detach() {
+	if s.views.Load() == 0 {
+		recycleAge(s)
+		return
+	}
+	s.detached.Store(true)
+	// A release may have dropped views to zero between the load above and
+	// the detached store, in which case its CompareAndSwap saw false and did
+	// not recycle; re-check and claim.
+	if s.views.Load() == 0 && s.detached.CompareAndSwap(true, false) {
+		recycleAge(s)
+	}
+}
+
+// ViewToken pins one generation's slab against recycling while a read-only
+// view (FetchViewAll/FetchViewSlice) aliases it. The zero token is a valid
+// no-op. Release must be called exactly once per acquired token.
+type ViewToken struct{ s *ageStore }
+
+// Release drops the view's pin. If the generation was dropped from its field
+// while this view was in flight, the last release recycles the slab.
+func (t ViewToken) Release() {
+	s := t.s
+	if s == nil {
+		return
+	}
+	if s.views.Add(-1) == 0 && s.detached.CompareAndSwap(true, false) {
+		recycleAge(s)
+	}
 }
 
 // New creates a field. Rank must be at least 1. Non-aged fields behave as a
@@ -556,6 +605,72 @@ func (f *Field) SnapshotInto(age int, dst *Array) {
 	dst.data.copyRange(0, &s.data, 0, s.data.len())
 }
 
+// FetchViewAll points dst at the whole generation's slab without copying —
+// the zero-copy counterpart of SnapshotInto. It is only legal once the
+// generation is complete (write-once + completeness makes the slab immutable);
+// it returns false, leaving dst untouched, when the age is absent or not yet
+// complete, and callers then fall back to the copying path. On success the
+// returned token pins the slab: DropAge/DropAgesBelow/Release defer recycling
+// until the token's Release. dst must be treated as read-only while the view
+// is live; boxed mutations copy-on-write, but the typed accessors
+// (Uint8s/Int32s/...) expose the field's own storage.
+func (f *Field) FetchViewAll(age int, dst *Array) (ViewToken, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s := f.ages[age]
+	if s == nil || !s.complete {
+		return ViewToken{}, false
+	}
+	dst.aliasSlab(f.kind, s.extents, &s.data, 0, s.data.len())
+	s.views.Add(1)
+	return ViewToken{s: s}, true
+}
+
+// FetchViewSlice points dst at a contiguous sub-slab of the generation
+// without copying — the zero-copy counterpart of FetchSlice. Only selectors
+// whose fixed dimensions form a prefix describe one contiguous run, and only
+// complete generations are immutable, so it returns false (dst untouched) for
+// non-prefix selectors, out-of-range fixed coordinates, absent ages, and
+// incomplete generations; callers fall back to the copying FetchSlice. The
+// returned token pins the slab exactly as in FetchViewAll.
+func (f *Field) FetchViewSlice(age int, sel []SlabDim, dst *Array) (ViewToken, bool) {
+	if len(sel) != f.rank {
+		panic(fmt.Sprintf("field %s: slab rank mismatch: %d selectors for rank-%d field", f.name, len(sel), f.rank))
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s := f.ages[age]
+	if s == nil || !s.complete {
+		return ViewToken{}, false
+	}
+	var freeExtBuf [4]int
+	freeExt := freeExtBuf[:0]
+	base, n := 0, 1
+	seenFree := false
+	for d, sd := range sel {
+		if sd.Fixed {
+			if seenFree {
+				return ViewToken{}, false // fixed dims must form a prefix
+			}
+			if sd.Index < 0 || sd.Index >= s.extents[d] {
+				return ViewToken{}, false // out of range: copying path delivers empty
+			}
+			base = base*s.extents[d] + sd.Index
+			continue
+		}
+		seenFree = true
+		base = base * s.extents[d]
+		freeExt = append(freeExt, s.extents[d])
+		n *= s.extents[d]
+	}
+	if !seenFree {
+		return ViewToken{}, false // no free dimensions: not a slab fetch
+	}
+	dst.aliasSlab(f.kind, freeExt, &s.data, base, n)
+	s.views.Add(1)
+	return ViewToken{s: s}, true
+}
+
 // Extents returns the current extents at the given age (zeros if the age has
 // never been stored to).
 func (f *Field) Extents(age int) []int {
@@ -608,7 +723,8 @@ func (f *Field) Complete(age int) bool {
 }
 
 // DropAge garbage collects a single generation, returning its storage to the
-// slab pool. It reports whether the age was live.
+// slab pool (deferred to the last view release if views are in flight). It
+// reports whether the age was live.
 func (f *Field) DropAge(age int) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -617,7 +733,7 @@ func (f *Field) DropAge(age int) bool {
 		return false
 	}
 	delete(f.ages, age)
-	recycleAge(s)
+	s.detach()
 	return true
 }
 
@@ -632,7 +748,7 @@ func (f *Field) DropAgesBelow(min int) int {
 	for a, s := range f.ages {
 		if a < min {
 			delete(f.ages, a)
-			recycleAge(s)
+			s.detach()
 			n++
 		}
 	}
@@ -653,7 +769,7 @@ func (f *Field) Release() {
 	defer f.mu.Unlock()
 	for a, s := range f.ages {
 		delete(f.ages, a)
-		recycleAge(s)
+		s.detach()
 	}
 }
 

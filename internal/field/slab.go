@@ -3,21 +3,24 @@ package field
 // Slab storage: kind-specialized flat backing for Field generations and local
 // Arrays. Instead of a []Value (a ~64-byte boxed struct per element), each
 // storage class keeps a flat typed slice — []uint8, []int32, []int64,
-// []float64 — with []Value retained only as the fallback for String/Any
-// elements. Scalar Get/Put boundaries still speak boxed Values; bulk paths
-// (whole-generation snapshots, slab fetches, slice stores, the wire format)
-// move the typed representation directly with copy.
+// []float64 — with []Value retained only as the fallback for Any elements.
+// String elements live in an offset+length byte arena (classStr) so string
+// rows neither box nor allocate per element. Scalar Get/Put boundaries still
+// speak boxed Values; bulk paths (whole-generation snapshots, slab fetches,
+// slice stores, the wire format) move the typed representation directly with
+// copy.
 
 // slabClass partitions element kinds into storage classes.
 type slabClass uint8
 
 const (
-	classVal slabClass = iota // String, Any, Invalid: boxed fallback
+	classVal slabClass = iota // Any, Invalid: boxed fallback
 	classU8                   // Uint8, Bool (bools normalize to 0/1)
 	classI32                  // Int32
 	classI64                  // Int64
 	classF64                  // Float32, Float64 (float32 keeps the full
 	// float64 representation, matching the boxed Value layout)
+	classStr // String: offset+length views into a shared byte arena
 	numSlabClasses
 )
 
@@ -31,6 +34,8 @@ func classOf(k Kind) slabClass {
 		return classI64
 	case Float32, Float64:
 		return classF64
+	case String:
+		return classStr
 	default:
 		return classVal
 	}
@@ -38,6 +43,13 @@ func classOf(k Kind) slabClass {
 
 // slab is the flat storage for one generation or one local array. Exactly one
 // of the slices (chosen by class) is in use; the others stay nil.
+//
+// classStr layout: element i occupies str[off[i] : off[i]+lens[i]-1]. The
+// length field uses len+1 coding so the zero value means "unset" (the boxed
+// Value{} an untouched slot reports): lens[i] == 0 is unset, lens[i] == k+1 is
+// a string of k bytes. The arena is append-only — overwriting an element
+// orphans its old bytes until the slab is cleared, which write-once fields
+// never do and local string arrays do rarely.
 type slab struct {
 	class slabClass
 	u8    []uint8
@@ -45,6 +57,9 @@ type slab struct {
 	i64   []int64
 	f64   []float64
 	vs    []Value
+	off   []uint32
+	lens  []uint32
+	str   []byte
 }
 
 func newSlab(k Kind, n int) slab {
@@ -63,6 +78,10 @@ func (s *slab) alloc(n, c int) {
 		s.i64 = make([]int64, n, c)
 	case classF64:
 		s.f64 = make([]float64, n, c)
+	case classStr:
+		s.off = make([]uint32, n, c)
+		s.lens = make([]uint32, n, c)
+		s.str = s.str[:0] // keep any recycled arena capacity
 	default:
 		s.vs = make([]Value, n, c)
 	}
@@ -78,6 +97,8 @@ func (s *slab) len() int {
 		return len(s.i64)
 	case classF64:
 		return len(s.f64)
+	case classStr:
+		return len(s.lens)
 	default:
 		return len(s.vs)
 	}
@@ -93,6 +114,8 @@ func (s *slab) capacity() int {
 		return cap(s.i64)
 	case classF64:
 		return cap(s.f64)
+	case classStr:
+		return cap(s.lens)
 	default:
 		return cap(s.vs)
 	}
@@ -111,12 +134,16 @@ func (s *slab) reslice(n int) {
 		s.i64 = s.i64[:n]
 	case classF64:
 		s.f64 = s.f64[:n]
+	case classStr:
+		s.off = s.off[:n]
+		s.lens = s.lens[:n]
 	default:
 		s.vs = s.vs[:n]
 	}
 }
 
-// zeroRange zeroes elements [i, j).
+// zeroRange zeroes elements [i, j). classStr arena bytes stay in place (the
+// offset/length entries going zero makes them unreachable).
 func (s *slab) zeroRange(i, j int) {
 	switch s.class {
 	case classU8:
@@ -127,6 +154,9 @@ func (s *slab) zeroRange(i, j int) {
 		clear(s.i64[i:j])
 	case classF64:
 		clear(s.f64[i:j])
+	case classStr:
+		clear(s.off[i:j])
+		clear(s.lens[i:j])
 	default:
 		clear(s.vs[i:j])
 	}
@@ -162,6 +192,14 @@ func (s *slab) resize(n, c int) {
 		nd := make([]float64, n, c)
 		copy(nd, s.f64)
 		s.f64 = nd
+	case classStr:
+		no := make([]uint32, n, c)
+		copy(no, s.off)
+		s.off = no
+		nl := make([]uint32, n, c)
+		copy(nl, s.lens)
+		s.lens = nl
+		// The arena carries over: offsets stay valid across a resize.
 	default:
 		nd := make([]Value, n, c)
 		copy(nd, s.vs)
@@ -190,6 +228,16 @@ func (s *slab) clearFull() {
 		s.f64 = s.f64[:cap(s.f64)]
 		clear(s.f64)
 		s.f64 = s.f64[:0]
+	case classStr:
+		s.off = s.off[:cap(s.off)]
+		clear(s.off)
+		s.off = s.off[:0]
+		s.lens = s.lens[:cap(s.lens)]
+		clear(s.lens)
+		s.lens = s.lens[:0]
+		// Truncate the arena but keep its capacity for reuse; gets copy out,
+		// so stale bytes beyond the length are never observable.
+		s.str = s.str[:0]
 	default:
 		s.vs = s.vs[:cap(s.vs)]
 		clear(s.vs)
@@ -229,6 +277,15 @@ func (s *slab) get(k Kind, i int) Value {
 		return Value{kind: k, i: s.i64[i]}
 	case classF64:
 		return Value{kind: k, f: s.f64[i]}
+	case classStr:
+		l := s.lens[i]
+		if l == 0 {
+			return Value{} // unset, like an untouched boxed slot
+		}
+		o := s.off[i]
+		// Copy out: the arena is zeroed/reused on recycle, so the returned
+		// string must not alias it.
+		return Value{kind: k, s: string(s.str[o : o+l-1])}
 	default:
 		return s.vs[i]
 	}
@@ -255,6 +312,16 @@ func (s *slab) set(k Kind, i int, v Value) {
 		s.i64[i] = v.Int64()
 	case classF64:
 		s.f64[i] = v.Float64()
+	case classStr:
+		if v.IsArray() {
+			// Boxed storage kept array values verbatim in String slots; the
+			// arena cannot. No code path stores arrays into String fields.
+			panic("field: array value stored into a String slab element")
+		}
+		cs := v.Convert(k).s
+		s.off[i] = uint32(len(s.str))
+		s.lens[i] = uint32(len(cs) + 1)
+		s.str = append(s.str, cs...)
 	default:
 		s.vs[i] = v.Convert(k)
 	}
@@ -272,6 +339,18 @@ func (s *slab) copyRange(doff int, src *slab, soff, n int) {
 		copy(s.i64[doff:doff+n], src.i64[soff:soff+n])
 	case classF64:
 		copy(s.f64[doff:doff+n], src.f64[soff:soff+n])
+	case classStr:
+		for i := 0; i < n; i++ {
+			l := src.lens[soff+i]
+			if l == 0 {
+				s.off[doff+i], s.lens[doff+i] = 0, 0
+				continue
+			}
+			o := src.off[soff+i]
+			s.off[doff+i] = uint32(len(s.str))
+			s.lens[doff+i] = l
+			s.str = append(s.str, src.str[o:o+l-1]...)
+		}
 	default:
 		copy(s.vs[doff:doff+n], src.vs[soff:soff+n])
 	}
@@ -303,6 +382,19 @@ func (s *slab) equalRange(o *slab, n int) bool {
 	case classF64:
 		for i := 0; i < n; i++ {
 			if s.f64[i] != o.f64[i] {
+				return false
+			}
+		}
+	case classStr:
+		for i := 0; i < n; i++ {
+			sl, ol := s.lens[i], o.lens[i]
+			if sl != ol {
+				return false
+			}
+			if sl == 0 {
+				continue
+			}
+			if string(s.str[s.off[i]:s.off[i]+sl-1]) != string(o.str[o.off[i]:o.off[i]+ol-1]) {
 				return false
 			}
 		}

@@ -115,7 +115,7 @@ func (r *boxedRef) coveredBySlice(sel []SlabDim, freeExt []int, visit func(idx [
 // refZero is the value an unwritten position reads as in the boxed model: the
 // zero Value for reference-kind storage, the kind's zero for numeric slabs.
 func refZero(k Kind) Value {
-	if classOf(k) == classVal {
+	if cls := classOf(k); cls == classVal || cls == classStr {
 		return Value{}
 	}
 	return Zero(k)

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // Wire format: a compact, length-prefixed binary encoding of Values and
@@ -65,6 +66,8 @@ func (v Value) wireSizeHint() int {
 		return 16 + n
 	case classI32:
 		return 16 + 4*n
+	case classStr:
+		return 16 + n + len(v.arr.data.str)
 	default:
 		return 16 + 8*n
 	}
@@ -126,6 +129,17 @@ func (a *Array) appendWire(buf []byte) ([]byte, error) {
 	case classF64:
 		for _, x := range a.data.f64 {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+	case classStr:
+		// Arena payload: per element the len+1 code, then the raw bytes — no
+		// per-element boxing or recursion. Unset (0) and empty ("" → 1) stay
+		// distinct, matching the in-memory coding.
+		for i, l := range a.data.lens {
+			buf = binary.AppendUvarint(buf, uint64(l))
+			if l > 0 {
+				o := a.data.off[i]
+				buf = append(buf, a.data.str[o:o+l-1]...)
+			}
 		}
 	default:
 		for _, v := range a.data.vs {
@@ -201,6 +215,68 @@ func (r *wireReader) uint64() (uint64, error) {
 // for embedding values inside larger frames (see runtime.StoreFrame): encoded
 // values are self-delimiting, so no length prefix is needed.
 func AppendWireValue(buf []byte, v Value) ([]byte, error) { return v.appendWire(buf) }
+
+// hostLittleEndian reports whether the host stores multi-byte words
+// little-endian, i.e. whether typed slabs already match the wire byte order.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// SplitWireArray appends the header of the wire encoding of v (version, kind,
+// flags, extents) to buf and returns the extended buffer together with the
+// payload bytes, which alias v's slab rather than being copied. The
+// concatenation header||payload is bit-identical to AppendWireValue(buf, v).
+//
+// Splitting is only possible when the payload is already wire byte order in
+// memory: uint8/bool slabs always, and the fixed-width numeric slabs on
+// little-endian hosts. Otherwise (String/Any arrays, scalars, attached
+// payload objects, big-endian hosts) it returns (buf, nil, false) with buf
+// unchanged and the caller falls back to the copying encoder.
+//
+// The returned payload is only valid while the slab backing v is alive and
+// unrecycled; callers must hold a reference (e.g. a fetched Array or a view
+// token) until the bytes have been consumed.
+func SplitWireArray(buf []byte, v Value) ([]byte, []byte, bool) {
+	a := v.arr
+	if a == nil || v.obj != nil {
+		return buf, nil, false
+	}
+	var payload []byte
+	switch a.data.class {
+	case classU8:
+		payload = a.data.u8
+	case classI32:
+		if !hostLittleEndian {
+			return buf, nil, false
+		}
+		if n := len(a.data.i32); n > 0 {
+			payload = unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(a.data.i32))), 4*n)
+		}
+	case classI64:
+		if !hostLittleEndian {
+			return buf, nil, false
+		}
+		if n := len(a.data.i64); n > 0 {
+			payload = unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(a.data.i64))), 8*n)
+		}
+	case classF64:
+		if !hostLittleEndian {
+			return buf, nil, false
+		}
+		if n := len(a.data.f64); n > 0 {
+			payload = unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(a.data.f64))), 8*n)
+		}
+	default:
+		return buf, nil, false
+	}
+	buf = append(buf, wireVersion, byte(v.kind), wireFlagArr)
+	buf = binary.AppendUvarint(buf, uint64(len(a.extents)))
+	for _, e := range a.extents {
+		buf = binary.AppendUvarint(buf, uint64(e))
+	}
+	return buf, payload, true
+}
 
 // DecodeWireValue decodes one wire-format value from the front of data and
 // returns it together with the number of bytes consumed. Trailing bytes are
@@ -377,6 +453,23 @@ func readWireArray(r *wireReader, kind Kind) (*Array, error) {
 		}
 		for i := range a.data.f64 {
 			a.data.f64[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+	case classStr:
+		for i := 0; i < n; i++ {
+			l, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if l == 0 {
+				continue // unset element
+			}
+			b, err := r.take(int(l - 1)) // bounds-checked against the buffer
+			if err != nil {
+				return nil, err
+			}
+			a.data.off[i] = uint32(len(a.data.str))
+			a.data.lens[i] = uint32(l)
+			a.data.str = append(a.data.str, b...)
 		}
 	default:
 		for i := range a.data.vs {

@@ -3,6 +3,7 @@ package field
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -103,6 +104,151 @@ func TestWireDecodeErrors(t *testing.T) {
 	}
 	if err := a.GobDecode(data); err == nil {
 		t.Error("scalar payload should not decode into an Array")
+	}
+}
+
+// Property: String arrays — including unset slots and empty strings, which
+// the arena codes distinctly — survive round trips through the per-element
+// uvarint+bytes payload.
+func TestQuickWireStringArrays(t *testing.T) {
+	f := func(vals []string, skip uint8) bool {
+		n := len(vals) + 1
+		a := NewArray(String, n)
+		for i, s := range vals {
+			if skip > 0 && i%int(skip) == 0 {
+				continue // leave unset: lens==0 must survive the round trip
+			}
+			a.SetFlat(StringVal(s), i)
+		}
+		a.SetFlat(StringVal(""), n-1) // empty-but-set is distinct from unset
+		data, err := a.GobEncode()
+		if err != nil {
+			return false
+		}
+		back := &Array{}
+		if err := back.GobDecode(data); err != nil {
+			return false
+		}
+		if !back.Equal(a) {
+			return false
+		}
+		// Unset slots must decode as unset (Invalid), not as "".
+		return !back.AtFlat(n - 1).Equal(Value{})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Any arrays (the boxed fallback) still round-trip after the arena
+// split moved String out of classVal.
+func TestQuickWireAnyArrays(t *testing.T) {
+	f := func(is []int64) bool {
+		a := NewArray(Any, len(is)+1)
+		for i, x := range is {
+			if i%2 == 0 {
+				a.SetFlat(Int64Val(x), i)
+			} else {
+				a.SetFlat(StringVal(fmt.Sprintf("v%d", x)), i)
+			}
+		}
+		data, err := a.GobEncode()
+		if err != nil {
+			return false
+		}
+		back := &Array{}
+		if err := back.GobDecode(data); err != nil {
+			return false
+		}
+		return back.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWireStringArrayTruncation decodes every proper prefix of an encoded
+// String array: each must fail cleanly (or decode to a valid value), never
+// panic or over-read.
+func TestWireStringArrayTruncation(t *testing.T) {
+	a := NewArray(String, 8)
+	for i := 0; i < 8; i += 2 { // every other slot unset
+		a.SetFlat(StringVal(fmt.Sprintf("element-%d-payload", i)), i)
+	}
+	data, err := a.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		var v Value
+		if err := v.GobDecode(data[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d-byte prefix succeeded", cut, len(data))
+		}
+	}
+}
+
+// TestWireStringArrayCorruption flips each byte of an encoded String array;
+// decode must never panic, and huge corrupted lengths must be rejected by
+// the bounds checks rather than trigger giant allocations.
+func TestWireStringArrayCorruption(t *testing.T) {
+	a := NewArray(String, 6)
+	for i := 0; i < 6; i++ {
+		a.SetFlat(StringVal(fmt.Sprintf("row-%d", i)), i)
+	}
+	data, err := a.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := make([]byte, len(data))
+	for pos := 0; pos < len(data); pos++ {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			copy(mut, data)
+			mut[pos] ^= flip
+			var v Value
+			// Error or success are both fine; panics and over-reads are not.
+			_ = v.GobDecode(mut)
+		}
+	}
+}
+
+// TestSplitWireArrayEquivalence: for every splittable class, header+payload
+// must be bit-identical to the copying encoder; reference classes must
+// refuse the split with buf untouched.
+func TestSplitWireArrayEquivalence(t *testing.T) {
+	arrays := []*Array{
+		ArrayFromUint8([]uint8{1, 2, 3, 4, 5}),
+		ArrayFromInt32([]int32{-1, 1 << 20, 7}),
+		ArrayFromFloat64([]float64{3.14, -2.5, 0}),
+		NewArray(Int64, 4),
+		NewArray(Bool, 3),
+		NewArray(Float64, 0), // empty payload
+	}
+	for _, a := range arrays {
+		v := ArrayVal(a)
+		want, err := AppendWireValue(nil, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := []byte{0xAA, 0xBB}
+		hdr, payload, ok := SplitWireArray(prefix, v)
+		if !ok {
+			t.Fatalf("%v array refused the split", a.Kind())
+		}
+		got := append(append([]byte(nil), hdr[len(prefix):]...), payload...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%v array split differs:\nsplit %x\ncopy  %x", a.Kind(), got, want)
+		}
+	}
+	for _, v := range []Value{
+		ArrayVal(func() *Array { a := NewArray(String, 3); a.SetFlat(StringVal("x"), 0); return a }()),
+		ArrayVal(NewArray(Any, 2)),
+		Int32Val(7), // scalar
+	} {
+		buf := []byte{1, 2, 3}
+		out, payload, ok := SplitWireArray(buf, v)
+		if ok || payload != nil || len(out) != len(buf) {
+			t.Fatalf("%v accepted the split (ok=%v payload=%v out=%x)", v.Kind(), ok, payload, out)
+		}
 	}
 }
 

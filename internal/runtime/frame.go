@@ -3,6 +3,8 @@ package runtime
 import (
 	"encoding/binary"
 	"fmt"
+	"net"
+	"sync"
 
 	"repro/internal/field"
 )
@@ -52,10 +54,33 @@ const frameMaxRank = 64
 // StoreFrame accumulates store notices for one field generation into a single
 // wire frame. The zero value is unusable; call Reset first. A StoreFrame is
 // not safe for concurrent use (the dist batcher serializes access).
+//
+// Large typed-slab payloads are recorded scatter-gather style: instead of
+// copying the slab bytes into buf, Add appends only the wire header and keeps
+// a segment referencing the slab directly. Segments() exposes the frame as a
+// net.Buffers vector so a transport can writev it straight to the socket;
+// AppendTo flattens it when a contiguous copy is needed. Either way the bytes
+// are identical to the all-copying encoder.
 type StoreFrame struct {
-	buf     []byte
-	entries int
+	buf      []byte
+	entries  int
+	segs     []frameSeg
+	segBytes int
 }
+
+// frameSeg is one zero-copy payload segment: data (aliasing a field slab, not
+// owned by the frame) belongs between buf[:bufOff] and buf[bufOff:]. Offsets
+// are recorded instead of sub-slices of buf because buf may grow (and move)
+// as later entries append.
+type frameSeg struct {
+	bufOff int
+	data   []byte
+}
+
+// frameSegMin is the minimum payload size Add records as a segment; smaller
+// payloads copy inline, where the two extra vector entries would cost more
+// than the copy.
+const frameSegMin = 64
 
 // Reset re-targets the frame at one field generation, dropping any previous
 // contents but keeping the buffer capacity.
@@ -65,6 +90,15 @@ func (f *StoreFrame) Reset(fieldName string, age int) {
 	f.buf = append(f.buf, fieldName...)
 	f.buf = binary.AppendVarint(f.buf, int64(age))
 	f.entries = 0
+	f.clearSegs()
+}
+
+func (f *StoreFrame) clearSegs() {
+	for i := range f.segs {
+		f.segs[i].data = nil // drop the slab references
+	}
+	f.segs = f.segs[:0]
+	f.segBytes = 0
 }
 
 // ResetTraced is Reset with a causal trace id embedded in the header
@@ -81,6 +115,7 @@ func (f *StoreFrame) ResetTraced(fieldName string, age int, trace uint64) {
 	f.buf = binary.AppendVarint(f.buf, int64(age))
 	f.buf = binary.AppendUvarint(f.buf, trace)
 	f.entries = 0
+	f.clearSegs()
 }
 
 // StoreFrameTrace parses only the frame header and returns its causal trace
@@ -131,6 +166,18 @@ func (f *StoreFrame) Add(sn StoreNotice) error {
 			f.buf = binary.AppendVarint(f.buf, int64(i))
 		}
 	}
+	// Scatter-gather: large typed-slab payloads keep their bytes in the
+	// slab and record a segment instead of copying into buf. The segment
+	// aliases sn.Value's backing; the caller must keep the value alive
+	// until the frame is flattened or sent (the dist batcher holds the
+	// cloned notice value via the segment slice itself).
+	if buf, payload, ok := field.SplitWireArray(f.buf, sn.Value); ok && len(payload) >= frameSegMin {
+		f.buf = buf
+		f.segs = append(f.segs, frameSeg{bufOff: len(f.buf), data: payload})
+		f.segBytes += len(payload)
+		f.entries++
+		return nil
+	}
 	var err error
 	f.buf, err = field.AppendWireValue(f.buf, sn.Value)
 	if err != nil {
@@ -143,12 +190,80 @@ func (f *StoreFrame) Add(sn StoreNotice) error {
 // Entries returns the number of stores added since the last Reset.
 func (f *StoreFrame) Entries() int { return f.entries }
 
-// Len returns the current encoded size in bytes.
-func (f *StoreFrame) Len() int { return len(f.buf) }
+// Len returns the current encoded size in bytes, including segment bytes.
+func (f *StoreFrame) Len() int { return len(f.buf) + f.segBytes }
 
-// Bytes returns the encoded frame. The slice aliases the frame's buffer and
-// is invalidated by the next Reset or Add.
-func (f *StoreFrame) Bytes() []byte { return f.buf }
+// Bytes returns the encoded frame. With no pending segments the slice
+// aliases the frame's buffer and is invalidated by the next Reset or Add;
+// with segments it is a freshly flattened copy (transports that can writev
+// should use Segments instead).
+func (f *StoreFrame) Bytes() []byte {
+	if len(f.segs) == 0 {
+		return f.buf
+	}
+	return f.AppendTo(make([]byte, 0, f.Len()))
+}
+
+// AppendTo appends the full encoded frame to dst — buffer bytes interleaved
+// with the zero-copy segments in offset order — and returns the extended
+// slice. The result is bit-identical to an all-copying encode.
+func (f *StoreFrame) AppendTo(dst []byte) []byte {
+	prev := 0
+	for _, s := range f.segs {
+		dst = append(dst, f.buf[prev:s.bufOff]...)
+		dst = append(dst, s.data...)
+		prev = s.bufOff
+	}
+	return append(dst, f.buf[prev:]...)
+}
+
+// Segments returns the frame as an ordered vector of byte slices suitable for
+// net.Buffers writev-style transmission. The slices alias the frame buffer
+// and the referenced slabs: they are invalidated by the next Reset or Add and
+// must be fully written before the frame is recycled.
+func (f *StoreFrame) Segments() net.Buffers {
+	segs := make(net.Buffers, 0, 2*len(f.segs)+1)
+	prev := 0
+	for _, s := range f.segs {
+		if s.bufOff > prev {
+			segs = append(segs, f.buf[prev:s.bufOff])
+		}
+		segs = append(segs, s.data)
+		prev = s.bufOff
+	}
+	if prev < len(f.buf) {
+		segs = append(segs, f.buf[prev:])
+	}
+	return segs
+}
+
+// maxPooledFrameBytes caps the buffer capacity PutStoreFrame keeps: a frame
+// whose buffer grew beyond it (one huge generation) is dropped instead of
+// pinning that memory in the pool for the rest of the run.
+const maxPooledFrameBytes = 256 << 10
+
+var framePool = sync.Pool{New: func() any { return new(StoreFrame) }}
+
+// GetStoreFrame checks a StoreFrame out of the process-wide pool. The frame
+// must still be Reset before use.
+func GetStoreFrame() *StoreFrame { return framePool.Get().(*StoreFrame) }
+
+// poolable reports whether PutStoreFrame will keep the frame: buffers that
+// grew past maxPooledFrameBytes are dropped instead of pinning memory.
+func (f *StoreFrame) poolable() bool { return cap(f.buf) <= maxPooledFrameBytes }
+
+// PutStoreFrame returns a frame to the pool, dropping slab references so
+// recycled frames never pin field memory, and dropping the frame entirely
+// when its buffer has grown past maxPooledFrameBytes.
+func PutStoreFrame(f *StoreFrame) {
+	f.clearSegs()
+	f.entries = 0
+	if !f.poolable() {
+		return // let the oversized buffer be collected
+	}
+	f.buf = f.buf[:0]
+	framePool.Put(f)
+}
 
 // frameCursor is a bounds-checked decode cursor.
 type frameCursor struct {

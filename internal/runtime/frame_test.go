@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -91,6 +92,156 @@ func noticesEqual(a, b StoreNotice) bool {
 		return a.Value.Array().Equal(b.Value.Array())
 	}
 	return a.Value.Equal(b.Value)
+}
+
+// TestStoreFrameScatterGather: a frame holding payloads above the segment
+// threshold must record them scatter-gather, and every assembled form —
+// Bytes, AppendTo, flattened Segments — must be identical to each other and
+// decode back to the original notices.
+func TestStoreFrameScatterGather(t *testing.T) {
+	big := field.NewArray(field.Float64, 256) // 2 KiB payload: well above frameSegMin
+	for i := 0; i < big.Len(); i++ {
+		big.SetFlat(field.Float64Val(float64(i)*0.25), i)
+	}
+	small := field.ArrayFromUint8([]uint8{1, 2, 3}) // below frameSegMin: copies inline
+	notices := []StoreNotice{
+		{Field: "f", Age: 3, Whole: true, Value: field.ArrayVal(big)},
+		{Field: "f", Age: 3, Elem: []int{7}, Value: field.Int32Val(42)},
+		{Field: "f", Age: 3, Sel: []field.SlabDim{{Fixed: true, Index: 1}}, Value: field.ArrayVal(small)},
+		{Field: "f", Age: 3, Whole: true, Value: field.ArrayVal(big)},
+	}
+	var f StoreFrame
+	f.Reset("f", 3)
+	for _, sn := range notices {
+		if err := f.Add(sn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(f.segs) != 2 {
+		t.Fatalf("recorded %d segments, want 2 (the big payloads)", len(f.segs))
+	}
+	flat := f.AppendTo(nil)
+	if f.Len() != len(flat) {
+		t.Errorf("Len() = %d, flattened size %d", f.Len(), len(flat))
+	}
+	if !slices.Equal(f.Bytes(), flat) {
+		t.Error("Bytes() differs from AppendTo")
+	}
+	var fromSegs []byte
+	for _, s := range f.Segments() {
+		fromSegs = append(fromSegs, s...)
+	}
+	if !slices.Equal(fromSegs, flat) {
+		t.Error("flattened Segments() differ from AppendTo")
+	}
+	var got []StoreNotice
+	if err := DecodeStoreFrame(flat, func(sn StoreNotice) error {
+		got = append(got, sn)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(notices) {
+		t.Fatalf("decoded %d notices, want %d", len(got), len(notices))
+	}
+	for i := range notices {
+		if !noticesEqual(got[i], notices[i]) {
+			t.Fatalf("notice %d: got %+v, want %+v", i, got[i], notices[i])
+		}
+	}
+}
+
+// TestStoreFrameScatterVsCopyBytes: for random notice sequences, the
+// scatter-gather frame must flatten to exactly the bytes a pure
+// AppendWireValue encoding would produce (segments are a transport detail,
+// never a wire format change).
+func TestStoreFrameScatterVsCopyBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		var f StoreFrame
+		f.Reset("f", 1)
+		ref := append([]byte(nil), f.buf...) // header
+		for i := 0; i < 1+r.Intn(6); i++ {
+			sn := randFrameNotice(r, "f", 1)
+			if err := f.Add(sn); err != nil {
+				t.Fatal(err)
+			}
+			// Reference: the always-copying encoding of the same entry.
+			var g StoreFrame
+			g.Reset("f", 1)
+			hdr := len(g.buf)
+			var err error
+			g.buf, err = appendFrameEntryCopy(g.buf, sn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref, g.buf[hdr:]...)
+		}
+		if !slices.Equal(f.AppendTo(nil), ref) {
+			t.Fatalf("iter %d: scatter-gather bytes differ from copy encoding", iter)
+		}
+	}
+}
+
+// appendFrameEntryCopy encodes one entry with the pure copying path, exactly
+// as Add did before scatter-gather segments existed.
+func appendFrameEntryCopy(buf []byte, sn StoreNotice) ([]byte, error) {
+	var g StoreFrame
+	g.buf = buf
+	switch {
+	case sn.Whole:
+		g.buf = append(g.buf, frameModeWhole)
+	case sn.Sel != nil:
+		g.buf = append(g.buf, frameModeSlab)
+		g.buf = binary.AppendUvarint(g.buf, uint64(len(sn.Sel)))
+		for _, sd := range sn.Sel {
+			if sd.Fixed {
+				g.buf = append(g.buf, 1)
+				g.buf = binary.AppendVarint(g.buf, int64(sd.Index))
+			} else {
+				g.buf = append(g.buf, 0)
+			}
+		}
+	default:
+		g.buf = append(g.buf, frameModeElem)
+		g.buf = binary.AppendUvarint(g.buf, uint64(len(sn.Elem)))
+		for _, i := range sn.Elem {
+			g.buf = binary.AppendVarint(g.buf, int64(i))
+		}
+	}
+	return field.AppendWireValue(g.buf, sn.Value)
+}
+
+// TestPutStoreFrameCap: pooled frames must drop slab references on return,
+// and oversized buffers must not be retained.
+func TestPutStoreFrameCap(t *testing.T) {
+	f := GetStoreFrame()
+	f.Reset("f", 0)
+	big := field.NewArray(field.Uint8, 1024)
+	if err := f.Add(StoreNotice{Field: "f", Age: 0, Whole: true, Value: field.ArrayVal(big)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.segs) == 0 {
+		t.Fatal("large payload did not record a segment")
+	}
+	if !f.poolable() {
+		t.Fatal("small frame reported unpoolable")
+	}
+	PutStoreFrame(f)
+	if len(f.segs) != 0 || f.segBytes != 0 {
+		t.Fatal("PutStoreFrame kept slab references")
+	}
+
+	over := &StoreFrame{buf: make([]byte, 0, maxPooledFrameBytes+1)}
+	if over.poolable() {
+		t.Fatalf("frame with %d-byte buffer reported poolable (cap %d)", cap(over.buf), maxPooledFrameBytes)
+	}
+	PutStoreFrame(over) // must not panic; the buffer is simply dropped
+
+	at := &StoreFrame{buf: make([]byte, 0, maxPooledFrameBytes)}
+	if !at.poolable() {
+		t.Fatal("frame exactly at the cap reported unpoolable")
+	}
 }
 
 // TestStoreFrameRoundTrip pushes random store notices (all three addressing

@@ -65,6 +65,12 @@ type Options struct {
 	// max(1, min(8, GOMAXPROCS/2)), and values are capped at 64 (the shard
 	// routing mask is a uint64).
 	AnalyzerShards int
+	// FetchCopy disables read-only fetch views and restores the copying
+	// fetch path (every whole-generation and slab fetch snapshots into a
+	// per-instance Array). Views are safe because generations are
+	// write-once and completeness-gated; the copy path is kept as the A/B
+	// reference (`p2gbench -fetchcopy`).
+	FetchCopy bool
 
 	// Metrics, when set, receives the node's full instrumentation: the
 	// per-kernel counters behind the Report plus dispatch/fetch/store
@@ -368,6 +374,7 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 			switch {
 			case fe.Whole():
 				fp.whole = true
+				fp.viewable = !opts.FetchCopy
 			case fe.Slab():
 				fp.slab = make([]slabTerm, len(fe.Index))
 				for d, spec := range fe.Index {
@@ -378,6 +385,20 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 				}
 				if len(fp.slab) > maxSel {
 					maxSel = len(fp.slab)
+				}
+				// A slab selector is viewable when its fixed dimensions are
+				// a prefix: the free suffix then addresses one contiguous
+				// row range of the generation slab.
+				fp.viewable = !opts.FetchCopy
+				free := false
+				for _, st := range fp.slab {
+					if st.fixed && free {
+						fp.viewable = false
+						break
+					}
+					if !st.fixed {
+						free = true
+					}
 				}
 			default:
 				fp.terms = compileIndex(fe.Index, kd.IndexVars)
@@ -469,11 +490,22 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 
 // execFrame is the reusable per-dispatch state a worker checks out of a
 // kernel's frame pool: the instance context plus coordinate and slab-selector
-// scratch sized for the kernel's largest index expressions.
+// scratch sized for the kernel's largest index expressions. views holds the
+// tokens of slab views acquired by the current dispatch; they are released
+// after the store loop, when nothing can read the aliased slabs anymore.
 type execFrame struct {
-	ctx *core.Ctx
-	idx []int
-	sel []field.SlabDim
+	ctx   *core.Ctx
+	idx   []int
+	sel   []field.SlabDim
+	views []field.ViewToken
+}
+
+// releaseViews drops every view token acquired by the current dispatch.
+func (fr *execFrame) releaseViews() {
+	for i := range fr.views {
+		fr.views[i].Release()
+	}
+	fr.views = fr.views[:0]
 }
 
 // Run executes the program to quiescence and returns the instrumentation
@@ -890,6 +922,13 @@ func (n *Node) exec(t *ageTracker, is *instState, w *workerState) {
 		switch {
 		case fp.whole:
 			dst := ctx.FetchDest(fe.Local)
+			if fp.viewable {
+				if tok, ok := fp.fs.f.FetchViewAll(g, dst); ok {
+					fr.views = append(fr.views, tok)
+					ctx.BindFetched(fe.Local, field.ArrayVal(dst))
+					continue
+				}
+			}
 			fp.fs.f.SnapshotInto(g, dst)
 			ctx.BindFetched(fe.Local, field.ArrayVal(dst))
 		case fp.slab != nil:
@@ -902,6 +941,13 @@ func (n *Node) exec(t *ageTracker, is *instState, w *workerState) {
 				}
 			}
 			dst := ctx.FetchDest(fe.Local)
+			if fp.viewable {
+				if tok, ok := fp.fs.f.FetchViewSlice(g, sel, dst); ok {
+					fr.views = append(fr.views, tok)
+					ctx.BindFetched(fe.Local, field.ArrayVal(dst))
+					continue
+				}
+			}
 			fp.fs.f.FetchSlice(g, sel, dst)
 			ctx.BindFetched(fe.Local, field.ArrayVal(dst))
 		default:
@@ -910,6 +956,7 @@ func (n *Node) exec(t *ageTracker, is *instState, w *workerState) {
 			if !ok {
 				n.fail(fmt.Errorf("p2g: internal error: %s dispatched before %s(%d)%v was written", kd.Name, fe.Field, g, idx))
 				w.emit(&event{isDone: true, t: t, inst: is})
+				fr.releaseViews()
 				fr.ctx.Reset(0, nil)
 				return
 			}
@@ -1034,8 +1081,11 @@ func (n *Node) exec(t *ageTracker, is *instState, w *workerState) {
 
 	done := event{isDone: true, t: t, inst: is, stores: stores, stopped: ctx.Stopped()}
 	w.emit(&done)
-	// The frame stays checked out in w.frames; clear the context so the
-	// cached frame does not pin fetched values between dispatches.
+	// The frame stays checked out in w.frames; drop the slab views (stores
+	// are applied, nothing reads the aliased generations anymore) and clear
+	// the context so the cached frame does not pin fetched values between
+	// dispatches.
+	fr.releaseViews()
 	fr.ctx.Reset(0, nil)
 }
 

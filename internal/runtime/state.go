@@ -161,6 +161,11 @@ type fetchPlan struct {
 	terms []idxTerm  // element fetches
 	slab  []slabTerm // slab fetches (nil otherwise)
 	whole bool
+	// viewable marks fetches eligible for the zero-copy view path: whole
+	// fetches always, slab fetches when the fixed dimensions form a prefix
+	// (so the selected rows are one contiguous slab range). Cleared when
+	// Options.FetchCopy forces the copying reference path.
+	viewable bool
 }
 
 // storePlan is the dispatch-time plan of one store statement.

@@ -70,18 +70,18 @@ scheduler)
 	emit BENCH_scheduler.json 'Fig9MJPEG|Fig10KMeans|Dispatch|Analyzer' . ./internal/runtime/
 	;;
 memory)
-	emit BENCH_memory.json 'Fig9MJPEG$|Fig10KMeans$|FieldStoreSlab|WireEncodeFrame' .
+	emit BENCH_memory.json 'Fig9MJPEG$|Fig10KMeans$|FieldStoreSlab|WireEncodeFrame|FieldFetchView' .
 	;;
 transport)
-	emit BENCH_transport.json 'TransportMJPEG' .
+	emit BENCH_transport.json 'TransportMJPEG|FrameEncodeScatter' .
 	;;
 obs)
 	emit BENCH_obs.json 'ObsOverhead' .
 	;;
 all)
 	emit BENCH_scheduler.json 'Fig9MJPEG|Fig10KMeans|Dispatch|Analyzer' . ./internal/runtime/
-	emit BENCH_memory.json 'Fig9MJPEG$|Fig10KMeans$|FieldStoreSlab|WireEncodeFrame' .
-	emit BENCH_transport.json 'TransportMJPEG' .
+	emit BENCH_memory.json 'Fig9MJPEG$|Fig10KMeans$|FieldStoreSlab|WireEncodeFrame|FieldFetchView' .
+	emit BENCH_transport.json 'TransportMJPEG|FrameEncodeScatter' .
 	emit BENCH_obs.json 'ObsOverhead' .
 	;;
 *)
