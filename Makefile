@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-mem bench-transport bench-obs bench-full bench-json clean
+.PHONY: all build test race vet fmt-check ci bench bench-mem bench-transport bench-obs bench-lang bench-full bench-json clean
 
 all: build
 
@@ -51,6 +51,13 @@ bench-transport:
 bench-obs:
 	$(GO) test -bench 'ObsOverhead' -benchtime=1x -count=1 -run xxx .
 	$(GO) test -run DispatchTracingOffAllocFree -count=1 ./internal/runtime/
+
+# bench-lang is the kernel-language back-end smoke gate (also run by ci.sh):
+# one iteration of each kernel body under the closure interpreter, the
+# register-bytecode VM, and the native Go baseline — enough to catch lowering
+# fallbacks or VM crashes on the benchmark kernels.
+bench-lang:
+	$(GO) test -bench 'Lang(MulSum|KMeans|Wavefront)' -benchtime=1x -count=1 -run xxx .
 
 # bench-full is the measurement run over the whole benchmark suite.
 bench-full:

@@ -596,3 +596,172 @@ func mustReadTestdata(b *testing.B, path string) string {
 	}
 	return data
 }
+
+// ---- kernel-language back-end benchmarks ----------------------------------
+//
+// BenchmarkLang{MulSum,KMeans,Wavefront} measure one kernel body directly
+// (no scheduler, no fetch/store machinery) under the closure interpreter,
+// the register-bytecode VM, and a native Go transliteration of the same
+// compute. The bytecode/closure ratio is the interpreter gap the bytecode
+// back-end exists to close; the native column is the remaining headroom.
+
+// §V mulsum arithmetic: repeated v = v*2+5 passes over a 512-element row.
+const benchLangMulSumSrc = `
+int32[] out;
+calc:
+  local int32[] r;
+  %{
+    for (int i = 0; i < 512; ++i) { put(r, i + 10, i); }
+    for (int it = 0; it < 50; ++it) {
+      for (int i = 0; i < 512; ++i) { put(r, get(r, i) * 2 + 5, i); }
+    }
+  %}
+  store out(0) = r;
+`
+
+// Table III assign: nearest-centroid scan, float math in the inner loop.
+const benchLangKMeansSrc = `
+float64[] out;
+assign:
+  local float64[] cx;
+  local float64[] best;
+  %{
+    for (int c = 0; c < 32; ++c) { put(cx, c * 0.5, c); }
+    for (int p = 0; p < 256; ++p) {
+      float px = p * 0.37;
+      float bd = 1000000.0;
+      for (int c = 0; c < 32; ++c) {
+        float d = px - get(cx, c);
+        d = d * d;
+        if (d < bd) { bd = d; }
+      }
+      put(best, bd, p);
+    }
+  %}
+  store out(0) = best;
+`
+
+// §III wavefront: each cell depends on its left, up and diagonal neighbours.
+const benchLangWavefrontSrc = `
+int32[][] out;
+predict:
+  local int32[][] p;
+  %{
+    for (int x = 0; x < 34; ++x) { put(p, 1, x, 0); }
+    for (int y = 0; y < 34; ++y) { put(p, 1, 0, y); }
+    for (int x = 1; x < 34; ++x) {
+      for (int y = 1; y < 34; ++y) {
+        int left = get(p, x - 1, y);
+        int up = get(p, x, y - 1);
+        int diag = get(p, x - 1, y - 1);
+        put(p, (left + up + diag) % 255 + min(left, up), x, y);
+      }
+    }
+  %}
+  store out(0) = p;
+`
+
+var benchLangSink int64
+
+func benchLangBody(b *testing.B, src, kernel string, native func() int64) {
+	b.Helper()
+	for _, be := range []struct {
+		name string
+		opts lang.Options
+	}{
+		{"closure", lang.Options{Backend: lang.BackendClosure}},
+		{"bytecode", lang.Options{Backend: lang.BackendBytecode}},
+	} {
+		prog, err := lang.CompileOptions("bench", src, be.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if be.opts.Backend == lang.BackendBytecode {
+			listings, err := lang.Disassemble("bench", src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, l := range listings {
+				if l.Fallback {
+					b.Fatalf("kernel %s fell back to closure: %s", l.Kernel, l.FallbackReason)
+				}
+			}
+		}
+		kd := prog.Kernel(kernel)
+		ctx := core.NewCtx(kd, 0, nil, nil, io.Discard)
+		b.Run(be.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx.Reset(0, nil)
+				if err := kd.Body(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchLangSink = native()
+		}
+	})
+}
+
+func BenchmarkLangMulSum(b *testing.B) {
+	benchLangBody(b, benchLangMulSumSrc, "calc", func() int64 {
+		var r [512]int32
+		for i := range r {
+			r[i] = int32(i + 10)
+		}
+		for it := 0; it < 50; it++ {
+			for i := range r {
+				r[i] = r[i]*2 + 5
+			}
+		}
+		return int64(r[0])
+	})
+}
+
+func BenchmarkLangKMeans(b *testing.B) {
+	benchLangBody(b, benchLangKMeansSrc, "assign", func() int64 {
+		var cx [32]float64
+		for c := range cx {
+			cx[c] = float64(c) * 0.5
+		}
+		var best [256]float64
+		for p := 0; p < 256; p++ {
+			px := float64(p) * 0.37
+			bd := 1000000.0
+			for c := 0; c < 32; c++ {
+				d := px - cx[c]
+				d = d * d
+				if d < bd {
+					bd = d
+				}
+			}
+			best[p] = bd
+		}
+		return int64(best[255])
+	})
+}
+
+func BenchmarkLangWavefront(b *testing.B) {
+	benchLangBody(b, benchLangWavefrontSrc, "predict", func() int64 {
+		var p [34][34]int32
+		for x := 0; x < 34; x++ {
+			p[x][0] = 1
+		}
+		for y := 0; y < 34; y++ {
+			p[0][y] = 1
+		}
+		for x := 1; x < 34; x++ {
+			for y := 1; y < 34; y++ {
+				left, up, diag := p[x-1][y], p[x][y-1], p[x-1][y-1]
+				m := left
+				if up < m {
+					m = up
+				}
+				p[x][y] = (left+up+diag)%255 + m
+			}
+		}
+		return int64(p[33][33])
+	})
+}

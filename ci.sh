@@ -28,3 +28,7 @@ go test -bench 'TransportMJPEG|FrameEncodeScatter' -benchtime=1x -count=1 -run x
 # zero allocations per instance.
 go test -bench 'ObsOverhead' -benchtime=1x -count=1 -run xxx .
 go test -run DispatchTracingOffAllocFree -count=1 ./internal/runtime/
+# Kernel-language back-end smoke gate (`make bench-lang`): each benchmark
+# kernel body once under the closure interpreter, the register-bytecode VM,
+# and the native Go baseline — catches lowering fallbacks and VM crashes.
+go test -bench 'Lang(MulSum|KMeans|Wavefront)' -benchtime=1x -count=1 -run xxx .

@@ -9,7 +9,7 @@
 //	p2gbench -experiment fig9 -runs 10  # one experiment, paper-parity runs
 //
 // Experiments: tableI fig9 fig10 tableII tableIII baseline granularity
-// fusion dct partition dist golden
+// fusion dct partition dist golden wavefront
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/lang"
 	"repro/internal/obs"
 	runtime2 "repro/internal/runtime"
 )
@@ -38,7 +39,16 @@ var (
 	anFlag      = flag.String("analyzer", "sharded", "dependency-analyzer implementation: sharded (per-shard event channels) or serial (reference)")
 	shardsFlag  = flag.Int("shards", 0, "analyzer shard count for -analyzer=sharded (0: auto from GOMAXPROCS)")
 	copyFlag    = flag.Bool("fetchcopy", false, "disable zero-copy fetch views and snapshot every fetch (reference path)")
+	backendFlag = flag.String("backend", "bytecode", "kernel-language back-end for .p2g experiments: bytecode (register VM) or closure (reference interpreter)")
 )
+
+// langOptions maps the -backend flag onto lang.Options.
+func langOptions() lang.Options {
+	if *backendFlag == "closure" {
+		return lang.Options{Backend: lang.BackendClosure}
+	}
+	return lang.Options{Backend: lang.BackendBytecode}
+}
 
 // schedulerKind maps the -scheduler flag onto Options.Scheduler.
 func schedulerKind() runtime2.SchedulerKind {
@@ -82,6 +92,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p2gbench: unknown -analyzer %q (want sharded or serial)\n", *anFlag)
 		os.Exit(2)
 	}
+	if *backendFlag != "bytecode" && *backendFlag != "closure" {
+		fmt.Fprintf(os.Stderr, "p2gbench: unknown -backend %q (want bytecode or closure)\n", *backendFlag)
+		os.Exit(2)
+	}
 
 	if *tracePath != "" {
 		benchTracer = obs.NewTracer(obs.DefaultTraceCapacity)
@@ -120,6 +134,7 @@ func main() {
 		{"dct", "ablation: naive vs AAN fast DCT (§VIII-A, ref [2])", dct},
 		{"partition", "extension: HLS partitioning quality (§IV)", partition},
 		{"dist", "extension: distributed execution nodes (figure 1)", distExp},
+		{"wavefront", "§III wavefront intra-prediction in the kernel language, back-end A/B", wavefrontExp},
 	}
 	if *list {
 		for _, e := range experiments {

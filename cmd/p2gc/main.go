@@ -1,10 +1,11 @@
 // p2gc is the P2G kernel-language compiler driver: it checks .p2g programs,
 // prints their dependency graphs (the paper's figures 2-4) in Graphviz DOT
-// form, and optionally runs them.
+// form, and disassembles the register bytecode the default back-end compiles
+// kernel bodies to.
 //
 // Usage:
 //
-//	p2gc [-check] [-graph intermediate|final|dcdag] [-ages N] program.p2g
+//	p2gc [-check] [-disasm] [-backend bytecode|closure] [-graph intermediate|final|dcdag] [-ages N] program.p2g
 package main
 
 import (
@@ -19,10 +20,12 @@ import (
 
 func main() {
 	check := flag.Bool("check", false, "parse and validate only")
+	disasm := flag.Bool("disasm", false, "print the register-bytecode listing for every kernel")
+	backend := flag.String("backend", "bytecode", "kernel-body back-end: bytecode or closure")
 	graphKind := flag.String("graph", "", "print a graph: intermediate, final or dcdag")
 	ages := flag.Int("ages", 3, "ages to unroll for -graph dcdag")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: p2gc [-check] [-graph intermediate|final|dcdag] [-ages N] program.p2g")
+		fmt.Fprintln(os.Stderr, "usage: p2gc [-check] [-disasm] [-backend bytecode|closure] [-graph intermediate|final|dcdag] [-ages N] program.p2g")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -30,13 +33,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	opts, err := backendOptions(*backend)
+	if err != nil {
+		fail("%v", err)
+	}
 	path := flag.Arg(0)
 	src, err := os.ReadFile(path)
 	if err != nil {
 		fail("%v", err)
 	}
 	name := strings.TrimSuffix(path, ".p2g")
-	prog, err := lang.Compile(name, string(src))
+	prog, err := lang.CompileOptions(name, string(src), opts)
 	if err != nil {
 		fail("%s:%v", path, err)
 	}
@@ -44,8 +51,35 @@ func main() {
 	if err := fin.CheckSchedulable(); err != nil {
 		fail("%s: %v", path, err)
 	}
+	if *disasm {
+		listings, err := lang.Disassemble(name, string(src))
+		if err != nil {
+			fail("%s:%v", path, err)
+		}
+		for _, l := range listings {
+			if l.Fallback {
+				fmt.Printf("kernel %s: closure fallback (%s)\n", l.Kernel, l.FallbackReason)
+				continue
+			}
+			fmt.Print(l.Text)
+		}
+		return
+	}
 	if *check {
-		fmt.Printf("%s: %d fields, %d kernels, OK\n", path, len(prog.Fields), len(prog.Kernels))
+		fmt.Printf("%s: %d fields, %d kernels, backend=%s, OK\n", path, len(prog.Fields), len(prog.Kernels), *backend)
+		if opts.Backend == lang.BackendBytecode {
+			listings, err := lang.Disassemble(name, string(src))
+			if err != nil {
+				fail("%s:%v", path, err)
+			}
+			for _, l := range listings {
+				if l.Fallback {
+					fmt.Printf("  kernel %-12s closure fallback: %s\n", l.Kernel, l.FallbackReason)
+				} else {
+					fmt.Printf("  kernel %-12s %d bytecode instructions\n", l.Kernel, l.Instructions)
+				}
+			}
+		}
 		return
 	}
 	switch *graphKind {
@@ -69,6 +103,17 @@ func main() {
 		fmt.Print(graph.Unroll(fin, *ages).DOT(prog.Name))
 	default:
 		fail("unknown graph kind %q", *graphKind)
+	}
+}
+
+func backendOptions(name string) (lang.Options, error) {
+	switch name {
+	case "bytecode":
+		return lang.Options{Backend: lang.BackendBytecode}, nil
+	case "closure":
+		return lang.Options{Backend: lang.BackendClosure}, nil
+	default:
+		return lang.Options{}, fmt.Errorf("unknown backend %q (want bytecode or closure)", name)
 	}
 }
 

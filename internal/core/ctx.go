@@ -162,6 +162,41 @@ func (c *Ctx) get(i int) field.Value {
 	return c.vals[i]
 }
 
+// LocalValue returns the local at position i in the kernel's Locals
+// declaration, materializing its default like Get, without binding it. It is
+// the by-index read hook for compiled kernel bodies (the lang bytecode VM),
+// which resolve locals to positions at compile time and skip the name scan.
+func (c *Ctx) LocalValue(i int) field.Value { return c.get(i) }
+
+// SetLocalValue assigns the local at position i and marks it bound — the
+// by-index counterpart of Set for compiled kernel bodies.
+func (c *Ctx) SetLocalValue(i int, v field.Value) {
+	c.vals[i] = v
+	c.inited[i] = true
+	c.bound[i] = true
+}
+
+// LocalArray returns the array local at position i and marks it bound — the
+// by-index counterpart of Array for compiled kernel bodies.
+func (c *Ctx) LocalArray(i int) *field.Array {
+	v := c.get(i)
+	if !v.IsArray() {
+		panic(fmt.Sprintf("p2g: local %q of kernel %s is not an array", c.kernel.Locals[i].Name, c.kernel.Name))
+	}
+	c.bound[i] = true
+	return v.Array()
+}
+
+// Coord returns the index-variable value at position i in IndexVars order,
+// or 0 when the runtime bound fewer coordinates — the by-index counterpart of
+// Index for compiled kernel bodies.
+func (c *Ctx) Coord(i int) int {
+	if i < len(c.coords) {
+		return c.coords[i]
+	}
+	return 0
+}
+
 // Set assigns the named local and marks it bound.
 func (c *Ctx) Set(name string, v field.Value) {
 	i := c.localIndex(name)

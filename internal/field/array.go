@@ -319,6 +319,82 @@ func remapSlab(dst *slab, dstExt []int, src *slab, srcExt []int) {
 	}
 }
 
+// FlatOffset64 converts int64 coordinates (the bytecode VM's register
+// representation) to a flat row-major offset, or -1 on rank mismatch or any
+// out-of-bounds coordinate — the same contract as the internal flatten.
+func (a *Array) FlatOffset64(idx []int64) int {
+	if len(idx) != len(a.extents) {
+		return -1
+	}
+	off := 0
+	for d, i := range idx {
+		if i < 0 || i >= int64(a.extents[d]) {
+			return -1
+		}
+		off = off*a.extents[d] + int(i)
+	}
+	return off
+}
+
+// FlatGetInt reads the element at flat offset off of an integer-class array
+// (uint8/bool/int32/int64) as its int64 payload, without boxing. It panics for
+// other storage classes.
+func (a *Array) FlatGetInt(off int) int64 {
+	switch a.data.class {
+	case classU8:
+		return int64(a.data.u8[off])
+	case classI32:
+		return int64(a.data.i32[off])
+	case classI64:
+		return a.data.i64[off]
+	default:
+		panic(fmt.Sprintf("field: FlatGetInt on %s array", a.kind))
+	}
+}
+
+// FlatGetFloat reads the element at flat offset off of a float-class array as
+// its float64 payload, without boxing. It panics for other storage classes.
+func (a *Array) FlatGetFloat(off int) float64 {
+	if a.data.class != classF64 {
+		panic(fmt.Sprintf("field: FlatGetFloat on %s array", a.kind))
+	}
+	return a.data.f64[off]
+}
+
+// FlatSetInt stores x at flat offset off of an integer-class array with the
+// same coercion as slab.set (width truncation, Bool normalized to 0/1),
+// copy-on-write through unshare for views. It panics for other classes.
+func (a *Array) FlatSetInt(off int, x int64) {
+	a.unshare()
+	switch a.data.class {
+	case classU8:
+		if a.kind == Bool {
+			if x != 0 {
+				x = 1
+			} else {
+				x = 0
+			}
+		}
+		a.data.u8[off] = uint8(x)
+	case classI32:
+		a.data.i32[off] = int32(x)
+	case classI64:
+		a.data.i64[off] = x
+	default:
+		panic(fmt.Sprintf("field: FlatSetInt on %s array", a.kind))
+	}
+}
+
+// FlatSetFloat stores x at flat offset off of a float-class array,
+// copy-on-write through unshare for views. It panics for other classes.
+func (a *Array) FlatSetFloat(off int, x float64) {
+	a.unshare()
+	if a.data.class != classF64 {
+		panic(fmt.Sprintf("field: FlatSetFloat on %s array", a.kind))
+	}
+	a.data.f64[off] = x
+}
+
 // Clone returns a deep copy of the array. Element payloads of kind Any are
 // shared (they are treated as immutable once stored), but nested array values
 // are cloned.

@@ -112,6 +112,22 @@ func (v Value) Str() string { return v.s }
 // Obj returns the wrapped Go payload (nil for non-Any values).
 func (v Value) Obj() any { return v.obj }
 
+// IntValOf wraps an already-canonical integer-class payload as a value of
+// kind k (Uint8, Int32, Int64 or Bool). It is the boxing hook for compiled
+// kernel back-ends, which keep payloads canonical in registers; the caller
+// guarantees x fits k (in particular 0/1 for Bool), so no truncation is
+// applied. Use Value.Convert when the payload is not known to be canonical.
+func IntValOf(k Kind, x int64) Value { return Value{kind: k, i: x} }
+
+// FloatValOf wraps a float payload as a value of kind k (Float32 or Float64),
+// keeping the full float64 representation exactly like Value.Convert does —
+// no float32 rounding for Float32.
+func FloatValOf(k Kind, f float64) Value { return Value{kind: k, f: f} }
+
+// StrValOf wraps a string payload as a value of kind k (String, or Any for
+// the Convert(Any) representation of a string).
+func StrValOf(k Kind, s string) Value { return Value{kind: k, s: s} }
+
 // Convert coerces the value to the target kind. Converting an array value
 // returns it unchanged (arrays carry their own kind). Converting to Any wraps
 // nothing; the value keeps its representation but reports kind Any. Integer

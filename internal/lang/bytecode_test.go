@@ -1,0 +1,291 @@
+package lang
+
+// Tests pinning the register-bytecode back-end against the closure
+// interpreter: the two must agree bit-for-bit on field contents, cout output
+// and error surfaces for every program either can run.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/runtime"
+)
+
+// TestBytecodeNoFallbackOnTestdata asserts that every kernel of every
+// testdata program lowers to bytecode — the testdata corpus is the coverage
+// floor for the lowering.
+func TestBytecodeNoFallbackOnTestdata(t *testing.T) {
+	for _, name := range []string{"mulsum", "kmeans", "wavefront", "dctstats"} {
+		listings, err := Disassemble(name, readTestdata(t, name+".p2g"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, l := range listings {
+			if l.Fallback {
+				t.Errorf("%s: kernel %s fell back to closure: %s", name, l.Kernel, l.FallbackReason)
+			} else if l.Instructions == 0 {
+				t.Errorf("%s: kernel %s lowered to zero instructions", name, l.Kernel)
+			}
+		}
+	}
+}
+
+// equivRun compiles src with the given back-end, runs it and returns the node
+// (for snapshots) plus the captured cout output.
+func equivRun(t *testing.T, name, src string, be Backend, opts runtime.Options) (*runtime.Node, string) {
+	t.Helper()
+	prog, err := CompileOptions(name, src, Options{Backend: be})
+	if err != nil {
+		t.Fatalf("%s backend %d: compile: %v", name, be, err)
+	}
+	var out strings.Builder
+	opts.Output = &out
+	node, err := runtime.NewNode(prog, opts)
+	if err != nil {
+		t.Fatalf("%s backend %d: node: %v", name, be, err)
+	}
+	rep, err := node.Run()
+	if err != nil {
+		t.Fatalf("%s backend %d: run: %v", name, be, err)
+	}
+	if len(rep.Stalled) > 0 {
+		t.Fatalf("%s backend %d: stalled: %v", name, be, rep.Stalled)
+	}
+	return node, out.String()
+}
+
+// sortedLines canonicalizes multi-worker cout output, whose interleaving is
+// scheduler-dependent but whose line set is not.
+func sortedLines(s string) []string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	sort.Strings(lines)
+	return lines
+}
+
+// TestBytecodeClosureEquivalence is the randomized stress gate: every
+// testdata program runs under both back-ends with randomized worker counts,
+// and fields must match bit-for-bit at every age while cout output matches
+// line-for-line.
+func TestBytecodeClosureEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		opts runtime.Options
+		ages int // snapshot ages 0..ages inclusive
+	}{
+		{"mulsum", runtime.Options{MaxAge: 6}, 6},
+		{"kmeans", runtime.Options{KernelMaxAge: map[string]int{"assign": 4, "refine": 4, "print": 5}}, 5},
+		{"wavefront", runtime.Options{}, 2},
+		{"dctstats", runtime.Options{}, 2},
+	}
+	rng := rand.New(rand.NewSource(0x9901))
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			src := readTestdata(t, tc.name+".p2g")
+			for trial := 0; trial < 3; trial++ {
+				opts := tc.opts
+				opts.Workers = 1 + rng.Intn(8)
+				bcNode, bcOut := equivRun(t, tc.name, src, BackendBytecode, opts)
+				clNode, clOut := equivRun(t, tc.name, src, BackendClosure, opts)
+				if opts.Workers == 1 {
+					if bcOut != clOut {
+						t.Fatalf("workers=1 output diverged:\nbytecode: %q\nclosure:  %q", bcOut, clOut)
+					}
+				} else if bc, cl := sortedLines(bcOut), sortedLines(clOut); fmt.Sprint(bc) != fmt.Sprint(cl) {
+					t.Fatalf("workers=%d output line sets diverged:\nbytecode: %q\nclosure:  %q", opts.Workers, bc, cl)
+				}
+				prog, err := Compile(tc.name, src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, fd := range prog.Fields {
+					for age := 0; age <= tc.ages; age++ {
+						bs, err := bcNode.Snapshot(fd.Name, age)
+						if err != nil {
+							t.Fatal(err)
+						}
+						cs, err := clNode.Snapshot(fd.Name, age)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !bs.Equal(cs) {
+							t.Fatalf("workers=%d field %s(%d) diverged:\nbytecode: %v\nclosure:  %v",
+								opts.Workers, fd.Name, age, bs, cs)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBytecodeRuntimeErrorParity runs programs whose kernels fail at run
+// time and checks both back-ends surface the identical error string.
+func TestBytecodeRuntimeErrorParity(t *testing.T) {
+	cases := map[string]string{
+		"int-div-zero": `int32[] out;
+k:
+  local int32[] r;
+  %{
+    int a = 7; int b = 0;
+    put(r, a / b, 0);
+  %}
+  store out(0) = r;`,
+		"int-mod-zero": `int32[] out;
+k:
+  local int32[] r;
+  %{
+    int a = 7; int b = 0;
+    put(r, a % b, 0);
+  %}
+  store out(0) = r;`,
+		"float-div-zero": `int32[] out;
+k:
+  local int32[] r;
+  %{
+    float a = 7.5; float b = 0.0;
+    put(r, a / b, 0);
+  %}
+  store out(0) = r;`,
+		"float-mod": `int32[] out;
+k:
+  local int32[] r;
+  %{
+    float a = 7.5; float b = 2.0;
+    put(r, a % b, 0);
+  %}
+  store out(0) = r;`,
+		"string-sub": `int32[] out;
+k:
+  local int32[] r;
+  %{
+    string s = "ab";
+    s = s - "b";
+    put(r, 1, 0);
+  %}
+  store out(0) = r;`,
+		"sqrt-negative": `int32[] out;
+k:
+  local int32[] r;
+  %{
+    float a = 0.0 - 4.0;
+    put(r, sqrt(a), 0);
+  %}
+  store out(0) = r;`,
+	}
+	for name, src := range cases {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			errFor := func(be Backend) string {
+				prog, err := CompileOptions(name, src, Options{Backend: be})
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				_, err = runtime.Run(prog, runtime.Options{Workers: 1})
+				if err == nil {
+					t.Fatalf("backend %d: expected runtime error", be)
+				}
+				return err.Error()
+			}
+			bc, cl := errFor(BackendBytecode), errFor(BackendClosure)
+			if bc != cl {
+				t.Errorf("error surfaces diverged:\nbytecode: %s\nclosure:  %s", bc, cl)
+			}
+		})
+	}
+}
+
+// TestArithEdgeCases pins the shared scalar-arithmetic semantics both
+// back-ends are built on: two's-complement wraparound, zero-divide errors,
+// mixed-kind promotion and the string operators.
+func TestArithEdgeCases(t *testing.T) {
+	i64 := field.Int64Val
+	f64 := field.Float64Val
+	str := field.StringVal
+	cases := []struct {
+		name    string
+		op      string
+		l, r    field.Value
+		want    field.Value
+		wantErr string
+	}{
+		{name: "int-overflow-wraps", op: "+", l: i64(math.MaxInt64), r: i64(1), want: i64(math.MinInt64)},
+		{name: "int-underflow-wraps", op: "-", l: i64(math.MinInt64), r: i64(1), want: i64(math.MaxInt64)},
+		{name: "int-mul-wraps", op: "*", l: i64(math.MaxInt64), r: i64(2), want: i64(-2)},
+		{name: "int-div-zero", op: "/", l: i64(1), r: i64(0), wantErr: "division by zero"},
+		{name: "int-mod-zero", op: "%", l: i64(1), r: i64(0), wantErr: "modulo by zero"},
+		{name: "int-div-trunc", op: "/", l: i64(-7), r: i64(2), want: i64(-3)},
+		{name: "int-mod-sign", op: "%", l: i64(-7), r: i64(2), want: i64(-1)},
+		{name: "float-promote-left", op: "+", l: f64(1.5), r: i64(2), want: f64(3.5)},
+		{name: "float-promote-right", op: "*", l: i64(2), r: f64(0.5), want: f64(1)},
+		{name: "float-div-zero", op: "/", l: f64(1), r: f64(0), wantErr: "division by zero"},
+		{name: "float-neg-zero-div", op: "/", l: f64(1), r: f64(math.Copysign(0, -1)), wantErr: "division by zero"},
+		{name: "float-mod-undefined", op: "%", l: f64(7), r: f64(2), wantErr: "% is not defined on floats"},
+		{name: "string-concat", op: "+", l: str("a"), r: str("b"), want: str("ab")},
+		{name: "string-concat-int", op: "+", l: str("n="), r: i64(3), want: str("n=3")},
+		{name: "string-eq", op: "==", l: str("x"), r: str("x"), want: field.BoolVal(true)},
+		{name: "string-ne", op: "!=", l: str("x"), r: str("y"), want: field.BoolVal(true)},
+		{name: "string-sub-error", op: "-", l: str("a"), r: str("b"), wantErr: `operator "-" not defined on strings`},
+		{name: "bool-promotes-int", op: "+", l: field.BoolVal(true), r: i64(1), want: i64(2)},
+	}
+	for _, tc := range cases {
+		got, err := arith(Token{}, tc.op, tc.l, tc.r)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+			continue
+		}
+		if got.Kind() != tc.want.Kind() || !got.Equal(tc.want) {
+			t.Errorf("%s: %v %s %v = %v (%v), want %v (%v)",
+				tc.name, tc.l, tc.op, tc.r, got, got.Kind(), tc.want, tc.want.Kind())
+		}
+	}
+}
+
+// TestCompareTotalOrder pins the comparison helpers the VM mirrors with
+// branch-form instructions: NaN compares equal to everything (the
+// interpreter's non-IEEE total order) and the int compare is exact.
+func TestCompareTotalOrder(t *testing.T) {
+	nan := math.NaN()
+	if c := compareFloat(nan, 5); c != 0 {
+		t.Errorf("compareFloat(NaN, 5) = %d, want 0", c)
+	}
+	if c := compareFloat(5, nan); c != 0 {
+		t.Errorf("compareFloat(5, NaN) = %d, want 0", c)
+	}
+	if c := compareFloat(nan, nan); c != 0 {
+		t.Errorf("compareFloat(NaN, NaN) = %d, want 0", c)
+	}
+	if c := compareFloat(math.Copysign(0, -1), 0); c != 0 {
+		t.Errorf("compareFloat(-0, +0) = %d, want 0", c)
+	}
+	if c := compareFloat(math.Inf(-1), math.Inf(1)); c != -1 {
+		t.Errorf("compareFloat(-Inf, +Inf) = %d, want -1", c)
+	}
+	if c := compareInt(math.MinInt64, math.MaxInt64); c != -1 {
+		t.Errorf("compareInt(min, max) = %d, want -1", c)
+	}
+	if c := compareInt(-1, -1); c != 0 {
+		t.Errorf("compareInt(-1, -1) = %d, want 0", c)
+	}
+	// The equivalence the VM relies on: a NaN operand must take the "=="
+	// branch through arith exactly like compareFloat says.
+	v, err := arith(Token{}, "==", field.Float64Val(nan), field.Float64Val(3)) //nolint:staticcheck
+	if err != nil || !v.Bool() {
+		t.Errorf("arith(NaN == 3) = %v, %v; want true (total order)", v, err)
+	}
+	v, err = arith(Token{}, "<", field.Float64Val(nan), field.Float64Val(3))
+	if err != nil || v.Bool() {
+		t.Errorf("arith(NaN < 3) = %v, %v; want false", v, err)
+	}
+}

@@ -9,19 +9,49 @@ import (
 	"repro/internal/field"
 )
 
+// Backend selects how `%{ %}` code blocks execute at runtime.
+type Backend uint8
+
+const (
+	// BackendBytecode lowers kernel bodies to register bytecode executed by
+	// the switch-dispatch VM in vm.go — the default. Kernels the lowering
+	// cannot represent exactly (e.g. fetches from Any fields) silently keep
+	// the closure interpreter; Disassemble reports such fallbacks.
+	BackendBytecode Backend = iota
+	// BackendClosure keeps the closure-compiled tree interpreter for every
+	// kernel. It is the A/B reference the bytecode back-end is differentially
+	// tested against.
+	BackendClosure
+)
+
+// Options configures compilation.
+type Options struct {
+	Backend Backend
+}
+
 // Compile parses kernel-language source and lowers it to a core.Program whose
-// kernel bodies execute the `%{ %}` blocks through a closure-compiled
-// interpreter. The program name is used for diagnostics only.
+// kernel bodies execute the `%{ %}` blocks through the default back-end (the
+// register-bytecode VM). The program name is used for diagnostics only.
 func Compile(name, src string) (*core.Program, error) {
+	return CompileOptions(name, src, Options{})
+}
+
+// CompileOptions is Compile with an explicit back-end selection.
+func CompileOptions(name, src string, opts Options) (*core.Program, error) {
 	file, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return CompileFile(name, file)
+	return CompileFileOptions(name, file, opts)
 }
 
 // CompileFile lowers a parsed file to a core.Program.
 func CompileFile(name string, file *File) (*core.Program, error) {
+	return CompileFileOptions(name, file, Options{})
+}
+
+// CompileFileOptions is CompileFile with an explicit back-end selection.
+func CompileFileOptions(name string, file *File, opts Options) (*core.Program, error) {
 	b := core.NewBuilder(name)
 	fields := map[string]FieldDecl{}
 	for _, fd := range file.Fields {
@@ -76,9 +106,17 @@ func CompileFile(name string, file *File) (*core.Program, error) {
 				kb.Store(s.Ref.Field, age, idx, s.Local)
 			}
 		}
+		// The closure compile always runs first: it is the single source of
+		// compile-time errors, so both back-ends reject exactly the same
+		// programs.
 		body, err := compileKernelBody(kd, timers)
 		if err != nil {
 			return nil, err
+		}
+		if opts.Backend == BackendBytecode {
+			if bp, lerr := lowerKernelBody(kd, timers, fields); lerr == nil {
+				body = bp.body()
+			}
 		}
 		kb.Body(body)
 	}

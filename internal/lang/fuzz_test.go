@@ -1,6 +1,8 @@
 package lang
 
 import (
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -72,6 +74,206 @@ func TestFragmentsRunSafely(t *testing.T) {
 		}
 		if _, err := runtime.Run(prog, runtime.Options{Workers: 1, MaxAge: 2}); err != nil {
 			t.Fatalf("fragment %d: %v", i, err)
+		}
+	}
+}
+
+// ---- differential fuzz: bytecode vs closure -------------------------------
+
+// exprGen builds random, always-parseable kernel-body expressions over a
+// fixed set of declared locals. Generated programs may fail at run time
+// (division by zero, sqrt of a negative) — that is part of the property: both
+// back-ends must fail identically.
+type exprGen struct {
+	rng *rand.Rand
+}
+
+func (g *exprGen) pick(xs []string) string { return xs[g.rng.Intn(len(xs))] }
+
+var (
+	genIntVars   = []string{"i0", "i1", "i2"}
+	genFloatVars = []string{"f0", "f1"}
+	genStrVars   = []string{"s0"}
+	genIntOps    = []string{"+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+	genFloatOps  = []string{"+", "-", "*", "/", "<", "<=", ">", ">=", "==", "!="}
+)
+
+func (g *exprGen) intExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprint(g.rng.Intn(21) - 10)
+		}
+		return g.pick(genIntVars)
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		// 0-x rather than -x: a negative literal operand would lex as "--".
+		return "(0 - " + g.intExpr(depth-1) + ")"
+	case 1:
+		return "(!" + g.intExpr(depth-1) + ")"
+	case 2:
+		return "min(" + g.intExpr(depth-1) + ", " + g.intExpr(depth-1) + ")"
+	case 3:
+		return "max(" + g.intExpr(depth-1) + ", " + g.intExpr(depth-1) + ")"
+	case 4:
+		return "abs(" + g.intExpr(depth-1) + ")"
+	case 5:
+		return "get(r, " + fmt.Sprint(g.rng.Intn(8)) + ")"
+	default:
+		return "(" + g.intExpr(depth-1) + " " + g.pick(genIntOps) + " " + g.intExpr(depth-1) + ")"
+	}
+}
+
+func (g *exprGen) floatExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("%d.%d", g.rng.Intn(9), g.rng.Intn(100))
+		}
+		return g.pick(genFloatVars)
+	}
+	switch g.rng.Intn(7) {
+	case 0:
+		return "sqrt(abs(" + g.floatExpr(depth-1) + "))"
+	case 1:
+		return "min(" + g.floatExpr(depth-1) + ", " + g.floatExpr(depth-1) + ")"
+	case 2:
+		return "max(" + g.floatExpr(depth-1) + ", " + g.intExpr(depth-1) + ")"
+	case 3:
+		return "floor(" + g.floatExpr(depth-1) + ")"
+	case 4:
+		// Mixed-kind promotion: int op float must match in both back-ends.
+		return "(" + g.intExpr(depth-1) + " " + g.pick(genFloatOps) + " " + g.floatExpr(depth-1) + ")"
+	default:
+		return "(" + g.floatExpr(depth-1) + " " + g.pick(genFloatOps) + " " + g.floatExpr(depth-1) + ")"
+	}
+}
+
+func (g *exprGen) strExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(2) == 0 {
+		if g.rng.Intn(2) == 0 {
+			return `"` + string(rune('a'+g.rng.Intn(4))) + `"`
+		}
+		return g.pick(genStrVars)
+	}
+	if g.rng.Intn(2) == 0 {
+		return "(" + g.strExpr(depth-1) + " + " + g.intExpr(depth-1) + ")"
+	}
+	return "(" + g.strExpr(depth-1) + " + " + g.strExpr(depth-1) + ")"
+}
+
+// stmt emits one random statement; loops are always bounded so every
+// generated program terminates.
+func (g *exprGen) stmt(b *strings.Builder, depth int) {
+	switch g.rng.Intn(10) {
+	case 0:
+		fmt.Fprintf(b, "%s = %s;\n", g.pick(genIntVars), g.intExpr(2))
+	case 1:
+		fmt.Fprintf(b, "%s %s= %s;\n", g.pick(genIntVars), g.pick([]string{"+", "-", "*"}), g.intExpr(2))
+	case 2:
+		fmt.Fprintf(b, "%s = %s;\n", g.pick(genFloatVars), g.floatExpr(2))
+	case 3:
+		fmt.Fprintf(b, "%s = %s;\n", g.pick(genStrVars), g.strExpr(2))
+	case 4:
+		fmt.Fprintf(b, "put(r, %s, %d);\n", g.intExpr(2), g.rng.Intn(8))
+	case 5:
+		fmt.Fprintf(b, "cout << %s << \" \" << %s << endl;\n", g.intExpr(1), g.strExpr(1))
+	case 6:
+		if depth > 0 {
+			fmt.Fprintf(b, "if (%s) {\n", g.intExpr(2))
+			g.stmt(b, depth-1)
+			b.WriteString("} else {\n")
+			g.stmt(b, depth-1)
+			b.WriteString("}\n")
+		} else {
+			fmt.Fprintf(b, "%s++;\n", g.pick(genIntVars))
+		}
+	case 7:
+		if depth > 0 {
+			lv := fmt.Sprintf("l%d", g.rng.Intn(1000))
+			fmt.Fprintf(b, "for (int %s = 0; %s < %d; ++%s) {\n", lv, lv, 1+g.rng.Intn(4), lv)
+			g.stmt(b, depth-1)
+			if g.rng.Intn(3) == 0 {
+				fmt.Fprintf(b, "if (%s == 1) { continue; }\n", lv)
+			}
+			if g.rng.Intn(3) == 0 {
+				fmt.Fprintf(b, "if (%s > 2) { break; }\n", lv)
+			}
+			b.WriteString("}\n")
+		} else {
+			fmt.Fprintf(b, "%s--;\n", g.pick(genIntVars))
+		}
+	case 8:
+		fmt.Fprintf(b, "%s = pow(%s, 2.0);\n", g.pick(genFloatVars), g.floatExpr(1))
+	default:
+		fmt.Fprintf(b, "put(r, %s, %d);\n", g.floatExpr(2), g.rng.Intn(8))
+	}
+}
+
+// genProgram builds a complete run-once program whose result surface is the
+// field f plus whatever cout produced.
+func (g *exprGen) genProgram() string {
+	kinds := []string{"int32", "float64"}
+	kind := kinds[g.rng.Intn(len(kinds))]
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[] f;\nk:\n  local %s[] r;\n  %%{\n", kind, kind)
+	b.WriteString("int i0 = 1; int i1 = -3; int i2 = 7;\n")
+	b.WriteString("float f0 = 0.5; float f1 = 2.25;\n")
+	b.WriteString("string s0 = \"x\";\n")
+	n := 3 + g.rng.Intn(10)
+	for j := 0; j < n; j++ {
+		g.stmt(&b, 2)
+	}
+	b.WriteString("put(r, i0 + i1 + i2, 0);\n")
+	b.WriteString("%}\n  store f(0) = r;\n")
+	return b.String()
+}
+
+// TestDifferentialFuzzBackends generates random programs and requires the
+// bytecode and closure back-ends to agree exactly: same compile result, same
+// runtime error (or none), same cout bytes, and bit-identical field contents.
+func TestDifferentialFuzzBackends(t *testing.T) {
+	iters := 150
+	if testing.Short() {
+		iters = 30
+	}
+	g := &exprGen{rng: rand.New(rand.NewSource(0x2909))}
+	for i := 0; i < iters; i++ {
+		src := g.genProgram()
+		run := func(be Backend) (string, string, string) {
+			prog, err := CompileOptions("fuzz", src, Options{Backend: be})
+			if err != nil {
+				t.Fatalf("iter %d: compile: %v\n%s", i, err, src)
+			}
+			var out strings.Builder
+			node, err := runtime.NewNode(prog, runtime.Options{Workers: 1, Output: &out})
+			if err != nil {
+				t.Fatalf("iter %d: node: %v", i, err)
+			}
+			_, rerr := node.Run()
+			errStr := ""
+			if rerr != nil {
+				errStr = rerr.Error()
+			}
+			snap := ""
+			if rerr == nil {
+				s, serr := node.Snapshot("f", 0)
+				if serr != nil {
+					t.Fatalf("iter %d: snapshot: %v", i, serr)
+				}
+				snap = fmt.Sprint(s)
+			}
+			return errStr, out.String(), snap
+		}
+		bcErr, bcOut, bcSnap := run(BackendBytecode)
+		clErr, clOut, clSnap := run(BackendClosure)
+		if bcErr != clErr {
+			t.Fatalf("iter %d: error surfaces diverged\nbytecode: %q\nclosure:  %q\nprogram:\n%s", i, bcErr, clErr, src)
+		}
+		if bcOut != clOut {
+			t.Fatalf("iter %d: cout diverged\nbytecode: %q\nclosure:  %q\nprogram:\n%s", i, bcOut, clOut, src)
+		}
+		if bcSnap != clSnap {
+			t.Fatalf("iter %d: field f diverged\nbytecode: %s\nclosure:  %s\nprogram:\n%s", i, bcSnap, clSnap, src)
 		}
 	}
 }
