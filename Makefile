@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-mem bench-transport bench-obs bench-lang bench-full bench-json clean
+.PHONY: all build test race vet fmt-check ci test-fault bench bench-mem bench-transport bench-obs bench-lang bench-full bench-json clean
 
 all: build
 
@@ -23,6 +23,13 @@ fmt-check:
 # ci is the tier-1 gate: formatting, static checks, build, and the full test
 # suite under the race detector.
 ci: fmt-check vet build race
+
+# test-fault is the fault-injection gate (also run by ci.sh): the failover,
+# liveness, and teardown regression tests under the race detector — every
+# scenario drives a real master/worker pair through a FaultConn (severed,
+# wedged, or silently dropping connections).
+test-fault:
+	$(GO) test -race -count=1 -run 'Failover|Liveness|IdleTimeout|Standby|BroadcastsStop|AbortReleases|SendFailureTeardown' ./internal/dist/
 
 # bench is the scheduler smoke gate (also run by ci.sh): one iteration of the
 # figure 9/10 sweeps and the dispatch benchmark, enough to catch crashes or

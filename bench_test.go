@@ -500,6 +500,110 @@ func BenchmarkTransportMJPEG(b *testing.B) {
 	}
 }
 
+// runTransportMJPEGFailover executes one distributed MJPEG encode across two
+// TCP loopback workers where the second worker's connection is severed
+// mid-run and the master recovers it: reassign the lost partition to the
+// survivor and replay the lost write-once generations from the shadow node.
+// Returns total master-side wire bytes and the replayed-generation count.
+//
+// Workers are built from the spec via the factory rather than an injected
+// Program: a rebuilt node must restart its stateful video source from frame
+// zero, which only a factory-constructed program guarantees.
+func runTransportMJPEGFailover(frames int) (wire, replayed int64, err error) {
+	spec := fmt.Sprintf("mjpeg:frames=%d,w=128,h=128,quality=70,seed=4,fast=1", frames)
+	prog, err := workloads.FromSpec(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	l, err := dist.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer l.Close()
+	const n = 2
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			conn, err := dist.DialTCP(l.Addr())
+			if err != nil {
+				errc <- err
+				return
+			}
+			_, err = dist.RunWorker(dist.WorkerConfig{
+				NodeID:  fmt.Sprintf("w%d", i),
+				Cores:   2,
+				Factory: workloads.FromSpec,
+			}, conn)
+			errc <- err
+		}(i)
+	}
+	conns := make([]dist.Conn, n)
+	for i := range conns {
+		c, err := l.Accept()
+		if err != nil {
+			return 0, 0, err
+		}
+		conns[i] = c
+	}
+	// Connections register in dial order on loopback often enough, but not
+	// guaranteed; severing whichever registers second keeps the benchmark
+	// deterministic in shape (one dead worker, one survivor) either way.
+	conns[1] = dist.NewFaultConn(conns[1], dist.FaultPlan{SeverSendAt: 8})
+	res, err := dist.RunMaster(dist.MasterConfig{
+		Prog:     prog,
+		Spec:     spec,
+		Method:   sched.KL,
+		Failover: true,
+	}, conns)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(res.DeadWorkers) != 1 {
+		return 0, 0, fmt.Errorf("dead workers = %v, want exactly one", res.DeadWorkers)
+	}
+	// Accept order need not match dial order, so either goroutine may own
+	// the severed connection: exactly one worker dies by design, the other
+	// must finish cleanly.
+	var workerErrs []error
+	for i := 0; i < n; i++ {
+		if e := <-errc; e != nil {
+			workerErrs = append(workerErrs, e)
+		}
+	}
+	if len(workerErrs) > 1 {
+		return 0, 0, fmt.Errorf("both workers failed: %v", workerErrs)
+	}
+	var total int64
+	for _, c := range conns {
+		if sr, ok := c.(dist.StatsReporter); ok {
+			st := sr.Stats()
+			total += st.SentBytes + st.RecvBytes
+		}
+	}
+	return total, res.Replayed, nil
+}
+
+// BenchmarkTransportMJPEGFailover measures the end-to-end cost of surviving a
+// worker death mid-encode: one of two TCP workers is severed after its fourth
+// send and the master repartitions onto the survivor and replays the lost
+// generations. Compare ns/op against BenchmarkTransportMJPEG/frames for the
+// failover penalty; replayed-gens/op sizes the replay traffic.
+func BenchmarkTransportMJPEGFailover(b *testing.B) {
+	workloads.RegisterPayloads()
+	const frames = 4
+	var wireBytes, replayedGens int64
+	for i := 0; i < b.N; i++ {
+		wire, replayed, err := runTransportMJPEGFailover(frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wireBytes += wire
+		replayedGens += replayed
+	}
+	b.ReportMetric(float64(wireBytes)/float64(b.N), "wire-B/op")
+	b.ReportMetric(float64(replayedGens)/float64(b.N), "replayed-gens/op")
+}
+
 // benchObsModes runs a workload under the three observability settings: no
 // instrumentation at all (the default fast path — must track the plain
 // figure-9/10 numbers), a live metrics registry (stage timers on), and

@@ -13,6 +13,11 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+# Fault-injection gate (`make test-fault`): the failover, liveness, and
+# teardown regression tests under the race detector, each driving a real
+# master/worker pair through a severed, wedged, or silently dropping
+# connection.
+go test -race -count=1 -run 'Failover|Liveness|IdleTimeout|Standby|BroadcastsStop|AbortReleases|SendFailureTeardown' ./internal/dist/
 # Scheduler smoke gate: one iteration of the figure 9/10 sweeps and the
 # dispatch benchmark (`make bench`) to catch crashes or stalls in the
 # dispatch fast path.

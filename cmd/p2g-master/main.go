@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/obs"
@@ -29,6 +30,11 @@ func main() {
 	method := flag.String("method", "kl", "partitioning method: greedy, kl or tabu")
 	tracePath := flag.String("trace", "", "write a merged Chrome trace_event JSON of the whole cluster (master + every worker, clock-aligned)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metricz and the merged cluster /statusz on this address, e.g. :9090")
+	failover := flag.Bool("failover", false, "recover from worker deaths: reassign the lost kernels and replay the lost field generations instead of failing the run")
+	standbys := flag.Int("standbys", 0, "additional hot-spare workers to wait for (started with p2g-worker -standby); the first standby takes over when a worker dies")
+	heartbeatMs := flag.Int("heartbeat", 0, "liveness heartbeat interval in ms (0 = 100ms default)")
+	maxMissed := flag.Int("max-missed", 0, "heartbeats a worker may miss before being declared dead (0 = disabled, or 3 with -failover)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "bound every blocking transport operation, so a half-open worker connection errors instead of wedging (e.g. 30s; 0 = unbounded)")
 	flag.Parse()
 
 	workloads.RegisterPayloads()
@@ -68,23 +74,52 @@ func main() {
 		fail(err)
 	}
 	defer l.Close()
-	fmt.Fprintf(os.Stderr, "p2g-master: listening on %s, waiting for %d nodes\n", l.Addr(), *nodes)
-	conns := make([]dist.Conn, *nodes)
-	for i := range conns {
+	fmt.Fprintf(os.Stderr, "p2g-master: listening on %s, waiting for %d nodes + %d standbys\n", l.Addr(), *nodes, *standbys)
+	// Workers and standbys may connect in any order: peek at the first
+	// message of each connection (MRegister vs MJoin) to classify it, then
+	// push the message back so RunMaster's registration sees it.
+	var conns, standbyConns []dist.Conn
+	for len(conns) < *nodes || len(standbyConns) < *standbys {
 		c, err := l.Accept()
 		if err != nil {
 			fail(err)
 		}
-		conns[i] = c
-		fmt.Fprintf(os.Stderr, "p2g-master: node %d/%d connected\n", i+1, *nodes)
+		first, err := c.Recv()
+		if err != nil {
+			fail(fmt.Errorf("reading registration: %w", err))
+		}
+		switch first.Kind {
+		case dist.MRegister:
+			if len(conns) == *nodes {
+				fail(fmt.Errorf("node %s connected but all %d execution slots are filled (start it with -standby?)", first.NodeID, *nodes))
+			}
+			conns = append(conns, dist.NewPushbackConn(c, first))
+			fmt.Fprintf(os.Stderr, "p2g-master: node %s connected (%d/%d)\n", first.NodeID, len(conns), *nodes)
+		case dist.MJoin:
+			if len(standbyConns) == *standbys {
+				fail(fmt.Errorf("standby %s connected but all %d standby slots are filled", first.NodeID, *standbys))
+			}
+			standbyConns = append(standbyConns, dist.NewPushbackConn(c, first))
+			fmt.Fprintf(os.Stderr, "p2g-master: standby %s connected (%d/%d)\n", first.NodeID, len(standbyConns), *standbys)
+		default:
+			fail(fmt.Errorf("expected a registration, got %v", first.Kind))
+		}
 	}
 
 	res, err := dist.RunMaster(dist.MasterConfig{
 		Prog: prog, Method: m, Spec: *workload, View: view,
 		Metrics: reg, Tracer: tracer, CollectTraces: tracer != nil,
+		Failover:    *failover,
+		Standbys:    standbyConns,
+		Heartbeat:   time.Duration(*heartbeatMs) * time.Millisecond,
+		MaxMissed:   *maxMissed,
+		IdleTimeout: *idleTimeout,
 	}, conns)
 	if err != nil {
 		fail(err)
+	}
+	for _, id := range res.DeadWorkers {
+		fmt.Fprintf(os.Stderr, "p2g-master: worker %s died during the run; its kernels were reassigned (%d field generations replayed)\n", id, res.Replayed)
 	}
 
 	if tracer != nil {

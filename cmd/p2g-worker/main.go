@@ -26,6 +26,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of this node's kernel instances")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metricz, /statusz and /tracez on this address, e.g. :9091")
 	gobStores := flag.Bool("gob-stores", false, "send one gob-encoded store message per notice instead of batched typed frames (A/B baseline)")
+	standby := flag.Bool("standby", false, "register as a hot spare: wait without a partition until the master promotes this node after a peer dies (requires the master to run with -failover and -standbys)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "bound every blocking transport operation once the run starts, so a dead master errors instead of wedging (e.g. 30s; 0 = unbounded)")
 	flag.Parse()
 
 	workloads.RegisterPayloads()
@@ -62,11 +64,18 @@ func main() {
 		BoundsFactory: workloads.SpecBounds,
 		Output:        os.Stdout,
 		DisableFrames: *gobStores,
+		Standby:       *standby,
+		IdleTimeout:   *idleTimeout,
 		Metrics:       reg,
 		Tracer:        tracer,
 	}, conn)
 	if err != nil {
 		fail(err)
+	}
+	if rep == nil {
+		// A standby the master never needed: released cleanly at shutdown.
+		fmt.Fprintf(os.Stderr, "p2g-worker %s: standby released without promotion\n", *id)
+		return
 	}
 	if tracer != nil {
 		f, err := os.Create(*tracePath)

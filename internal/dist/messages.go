@@ -30,6 +30,8 @@ const (
 	MClockEcho                  // worker → master: probe echo with the worker's clock reading
 	MTraceReq                   // master → worker: send your span buffer (shutdown)
 	MTrace                      // worker → master: span buffer + trace alignment data
+	MJoin                       // standby worker → master: available for takeover, not initial partition
+	MReassign                   // master → worker: replacement kernel partition after a peer died
 )
 
 // String returns the lifecycle name of the message kind, for handshake and
@@ -70,6 +72,10 @@ func (k MsgKind) String() string {
 		return "MTraceReq"
 	case MTrace:
 		return "MTrace"
+	case MJoin:
+		return "MJoin"
+	case MReassign:
+		return "MReassign"
 	}
 	return "MsgKind(" + strconv.Itoa(int(k)) + ")"
 }
@@ -84,9 +90,14 @@ type Msg struct {
 	Cores  int
 	Speed  float64
 
-	// MAssign
+	// MAssign / MReassign
 	Kernels []string // kernel names the worker executes
 	Spec    string   // program spec for workers that build the program from a registry
+	// Failover tells the worker the master is running with failover enabled:
+	// the worker builds its node with merge-tolerant stores so replayed
+	// generations and re-executed kernels are idempotent (see
+	// runtime.Options.MergeStores).
+	Failover bool
 
 	// MStore
 	Store runtime.StoreNotice

@@ -22,6 +22,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Conn is a bidirectional, ordered message channel between two nodes.
@@ -29,6 +30,25 @@ type Conn interface {
 	Send(*Msg) error
 	Recv() (*Msg, error)
 	Close() error
+}
+
+// IdleTimeoutConn is implemented by transports whose operations can be
+// deadline-bounded. With a non-zero timeout, a Recv that sees no message for
+// the duration — and, on TCP, a Send that cannot make progress — fails with
+// an error containing "idle timeout" instead of blocking forever. This is the
+// failure-detection primitive: a half-open TCP connection (peer machine gone,
+// no RST ever arrives) otherwise wedges a blocking read indefinitely.
+type IdleTimeoutConn interface {
+	Conn
+	SetIdleTimeout(d time.Duration)
+}
+
+// SetConnIdleTimeout applies an idle timeout when the transport supports one;
+// it is a no-op otherwise, so callers need not type-switch.
+func SetConnIdleTimeout(c Conn, d time.Duration) {
+	if ic, ok := c.(IdleTimeoutConn); ok {
+		ic.SetIdleTimeout(d)
+	}
 }
 
 // FrameConn is implemented by transports that can send a store-frame payload
@@ -88,8 +108,12 @@ type inprocConn struct {
 	once sync.Once
 	done chan struct{}
 	peer *inprocConn
+	idle atomic.Int64 // idle timeout in nanoseconds; 0 = none
 	connStats
 }
+
+// SetIdleTimeout implements IdleTimeoutConn: Recv fails after d of silence.
+func (c *inprocConn) SetIdleTimeout(d time.Duration) { c.idle.Store(int64(d)) }
 
 // InprocPipe returns a connected pair of in-process connections.
 func InprocPipe() (Conn, Conn) {
@@ -123,12 +147,20 @@ func (c *inprocConn) Send(m *Msg) error {
 }
 
 func (c *inprocConn) Recv() (*Msg, error) {
+	var timeout <-chan time.Time
+	if d := c.idle.Load(); d > 0 {
+		t := time.NewTimer(time.Duration(d))
+		defer t.Stop()
+		timeout = t.C
+	}
 	select {
 	case m := <-c.in:
 		c.recvMsgs.Add(1)
 		return m, nil
 	case <-c.done:
 		return nil, fmt.Errorf("dist: connection closed")
+	case <-timeout:
+		return nil, fmt.Errorf("dist: idle timeout after %v", time.Duration(c.idle.Load()))
 	case <-c.peer.done:
 		// Drain anything already queued before reporting closure.
 		select {
@@ -155,9 +187,30 @@ type tcpConn struct {
 	// br feeds the decoder and the raw frame reads after SendFrame-split
 	// envelopes. gob uses it as an io.ByteReader and so never reads ahead
 	// past a message boundary, leaving the raw frame bytes for Recv.
-	br *bufio.Reader
-	mu sync.Mutex
+	br   *bufio.Reader
+	mu   sync.Mutex
+	idle atomic.Int64 // idle timeout in nanoseconds; 0 = none
 	connStats
+}
+
+// SetIdleTimeout implements IdleTimeoutConn: every subsequent Recv arms a
+// read deadline and every Send a write deadline, so a half-open peer surfaces
+// as an error instead of a forever-blocked syscall. Zero clears any armed
+// deadline.
+func (c *tcpConn) SetIdleTimeout(d time.Duration) {
+	c.idle.Store(int64(d))
+	if d == 0 {
+		c.nc.SetDeadline(time.Time{})
+	}
+}
+
+// idleErr rewraps a deadline-exceeded transport error so callers (and
+// humans) see the liveness meaning, not just "i/o timeout".
+func (c *tcpConn) idleErr(op string, err error) error {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return fmt.Errorf("dist: idle timeout after %v (%s): %w", time.Duration(c.idle.Load()), op, err)
+	}
+	return err
 }
 
 // countingWriter / countingReader wrap the TCP stream so the gob encoders
@@ -204,8 +257,11 @@ func newTCPConn(nc net.Conn) Conn {
 func (c *tcpConn) Send(m *Msg) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if d := c.idle.Load(); d > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(time.Duration(d)))
+	}
 	if err := c.enc.Encode(m); err != nil {
-		return err
+		return c.idleErr("send", err)
 	}
 	c.sentMsgs.Add(1)
 	return nil
@@ -225,13 +281,16 @@ func (c *tcpConn) SendFrame(m *Msg, segs net.Buffers) error {
 	env.FrameLen = total
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if d := c.idle.Load(); d > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(time.Duration(d)))
+	}
 	if err := c.enc.Encode(&env); err != nil {
-		return err
+		return c.idleErr("send", err)
 	}
 	n, err := segs.WriteTo(c.nc)
 	c.sentBytes.Add(n)
 	if err != nil {
-		return err
+		return c.idleErr("send", err)
 	}
 	c.sentMsgs.Add(1)
 	return nil
@@ -242,17 +301,23 @@ func (c *tcpConn) SendFrame(m *Msg, segs net.Buffers) error {
 const maxRecvFrameLen = 1 << 30
 
 func (c *tcpConn) Recv() (*Msg, error) {
+	if d := c.idle.Load(); d > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(time.Duration(d)))
+	}
 	m := &Msg{}
 	if err := c.dec.Decode(m); err != nil {
-		return nil, err
+		return nil, c.idleErr("recv", err)
 	}
 	if m.FrameLen != 0 {
 		if m.FrameLen < 0 || m.FrameLen > maxRecvFrameLen {
 			return nil, fmt.Errorf("dist: frame length %d out of range", m.FrameLen)
 		}
+		if d := c.idle.Load(); d > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(time.Duration(d)))
+		}
 		raw := make([]byte, m.FrameLen)
 		if _, err := io.ReadFull(c.br, raw); err != nil {
-			return nil, fmt.Errorf("dist: reading raw store frame: %w", err)
+			return nil, fmt.Errorf("dist: reading raw store frame: %w", c.idleErr("recv", err))
 		}
 		m.Frame = raw
 		m.FrameLen = 0
@@ -262,6 +327,63 @@ func (c *tcpConn) Recv() (*Msg, error) {
 }
 
 func (c *tcpConn) Close() error { return c.nc.Close() }
+
+// pushbackConn replays one already-received message before delegating to the
+// underlying connection. The master CLI uses it to classify inbound workers
+// (MRegister vs MJoin) at accept time without consuming the registration that
+// RunMaster expects to read itself. All optional transport capabilities
+// (FrameConn, StatsReporter, IdleTimeoutConn) forward, so wrapping costs the
+// connection nothing.
+type pushbackConn struct {
+	under Conn
+	mu    sync.Mutex
+	first *Msg
+}
+
+// NewPushbackConn wraps c so its next Recv returns first.
+func NewPushbackConn(c Conn, first *Msg) Conn {
+	return &pushbackConn{under: c, first: first}
+}
+
+func (c *pushbackConn) Send(m *Msg) error { return c.under.Send(m) }
+
+func (c *pushbackConn) SendFrame(m *Msg, segs net.Buffers) error {
+	if fc, ok := c.under.(FrameConn); ok {
+		return fc.SendFrame(m, segs)
+	}
+	env := *m
+	var flat []byte
+	for _, s := range segs {
+		flat = append(flat, s...)
+	}
+	env.Frame = flat
+	env.FrameLen = 0
+	return c.under.Send(&env)
+}
+
+func (c *pushbackConn) Recv() (*Msg, error) {
+	c.mu.Lock()
+	if m := c.first; m != nil {
+		c.first = nil
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+	return c.under.Recv()
+}
+
+func (c *pushbackConn) Close() error { return c.under.Close() }
+
+// SetIdleTimeout forwards to the underlying transport when supported.
+func (c *pushbackConn) SetIdleTimeout(d time.Duration) { SetConnIdleTimeout(c.under, d) }
+
+// Stats forwards to the underlying transport when supported.
+func (c *pushbackConn) Stats() ConnStats {
+	if sr, ok := c.under.(StatsReporter); ok {
+		return sr.Stats()
+	}
+	return ConnStats{}
+}
 
 type tcpListener struct{ l net.Listener }
 

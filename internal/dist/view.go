@@ -26,7 +26,15 @@ type ClusterStatus struct {
 	Phase      string         `json:"phase"`
 	Method     string         `json:"method,omitempty"`
 	Assignment map[string]int `json:"assignment,omitempty"`
-	Workers    []WorkerStatus `json:"workers,omitempty"`
+	// Liveness configuration: a worker silent for MaxMissed heartbeat
+	// intervals is declared dead; with Failover its kernels are reassigned
+	// and replayed, otherwise the run fails. Standbys counts spare workers
+	// available for takeover.
+	HeartbeatMs int64          `json:"heartbeat_ms,omitempty"`
+	MaxMissed   int            `json:"max_missed,omitempty"`
+	Failover    bool           `json:"failover,omitempty"`
+	Standbys    int            `json:"standbys,omitempty"`
+	Workers     []WorkerStatus `json:"workers,omitempty"`
 	// Cluster is the merge of all worker metric snapshots: counters and
 	// gauges sum, histogram buckets add — the whole-cluster totals.
 	Cluster *obs.MetricsSnapshot `json:"cluster,omitempty"`
@@ -34,13 +42,15 @@ type ClusterStatus struct {
 
 // WorkerStatus is one worker's row in the cluster view.
 type WorkerStatus struct {
-	ID       string    `json:"id"`
-	Cores    int       `json:"cores"`
-	Speed    float64   `json:"speed"`
-	Idle     bool      `json:"idle"`
-	Sent     int64     `json:"sent"`
-	Received int64     `json:"received"`
-	Done     bool      `json:"done"`
+	ID       string  `json:"id"`
+	Cores    int     `json:"cores"`
+	Speed    float64 `json:"speed"`
+	Idle     bool    `json:"idle"`
+	Sent     int64   `json:"sent"`
+	Received int64   `json:"received"`
+	Done     bool    `json:"done"`
+	// Dead marks a worker the liveness monitor declared lost.
+	Dead     bool      `json:"dead,omitempty"`
 	LastSeen time.Time `json:"last_seen,omitempty"`
 	// Kernels is derived live from the heartbeat metric snapshot (and
 	// replaced by the final report's rows once the worker is done).
@@ -134,6 +144,33 @@ func (v *ClusterView) updateWorker(i int, idle bool, sent, received int64, snap 
 		w.Metrics = snap
 		w.Kernels = KernelStatsFromSnapshot(snap)
 	}
+}
+
+// setLiveness records the run's failure-detection configuration.
+func (v *ClusterView) setLiveness(heartbeat time.Duration, maxMissed int, failover bool, standbys int) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.st.HeartbeatMs = heartbeat.Milliseconds()
+	v.st.MaxMissed = maxMissed
+	v.st.Failover = failover
+	v.st.Standbys = standbys
+}
+
+// workerDead marks a worker the liveness monitor declared lost.
+func (v *ClusterView) workerDead(i int) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if i < 0 || i >= len(v.st.Workers) {
+		return
+	}
+	v.st.Workers[i].Dead = true
+	v.st.Workers[i].Idle = false
 }
 
 // workerDone records the final report of one worker.

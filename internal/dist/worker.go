@@ -44,6 +44,19 @@ type WorkerConfig struct {
 	// -gob-stores flag use it.
 	DisableFrames bool
 
+	// Standby registers this worker as a hot spare: it sends MJoin instead
+	// of MRegister, receives no initial partition, and waits (answering
+	// clock probes) until the master either promotes it after a peer's
+	// death (MAssign/MStart, with the lost state replayed) or releases it
+	// with MStopReq — in which case RunWorker returns (nil, nil).
+	Standby bool
+	// IdleTimeout, when positive, bounds every blocking transport operation
+	// on the master connection once the run has started, so a silently dead
+	// master surfaces as an error instead of wedging the worker forever.
+	// Not armed during the handshake — registration and (for standbys) the
+	// wait for promotion are legitimately unbounded.
+	IdleTimeout time.Duration
+
 	// Metrics receives the node's full instrumentation and is snapshotted
 	// into every status heartbeat; when nil a private registry is created
 	// so the master's cluster view still sees live per-kernel stats.
@@ -68,6 +81,7 @@ func handshakeErr(phase string, m *Msg, err error) error {
 
 // RunWorker executes one node of a distributed run over an established
 // connection to the master. It returns the local instrumentation report.
+// A standby worker that was never promoted returns (nil, nil).
 func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 1
@@ -76,13 +90,18 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 	if speed <= 0 {
 		speed = 1
 	}
-	if err := conn.Send(&Msg{Kind: MRegister, NodeID: cfg.NodeID, Cores: cfg.Cores, Speed: speed}); err != nil {
+	regKind := MRegister
+	if cfg.Standby {
+		regKind = MJoin
+	}
+	if err := conn.Send(&Msg{Kind: regKind, NodeID: cfg.NodeID, Cores: cfg.Cores, Speed: speed}); err != nil {
 		return nil, err
 	}
 
 	// An observed master interleaves clock probes between registration and
 	// assignment; answer them with this node's clock until the assignment
-	// arrives (unobserved masters send none).
+	// arrives (unobserved masters send none). A standby sits in this loop
+	// for as long as the cluster stays healthy.
 	var assign *Msg
 	for {
 		m, err := conn.Recv()
@@ -94,6 +113,11 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 				return nil, fmt.Errorf("dist: answering clock probe: %w", err)
 			}
 			continue
+		}
+		if m.Kind == MStopReq {
+			// Released before ever being assigned work: the run finished (or
+			// failed) without needing this standby.
+			return nil, nil
 		}
 		assign = m
 		break
@@ -119,17 +143,6 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 	}
 	if cfg.KernelMaxAge == nil && cfg.BoundsFactory != nil {
 		cfg.KernelMaxAge = cfg.BoundsFactory(assign.Spec)
-	}
-
-	local := map[string]bool{}
-	for _, k := range assign.Kernels {
-		local[k] = true
-	}
-	remote := map[string]bool{}
-	for _, k := range prog.Kernels {
-		if !local[k.Name] {
-			remote[k.Name] = true
-		}
 	}
 
 	var sent, received atomic.Int64
@@ -187,16 +200,6 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 		return st
 	}
 
-	// The store batcher coalesces per-row notices into whole-generation
-	// MStoreFrame messages; it is flushed before every MDone (keeping the
-	// per-origin stores-before-done order) and on every ping (bounding how
-	// long an incomplete generation can sit unsent). With a tracer it also
-	// stamps each frame with a causal trace id and records the emit span.
-	var batcher *storeBatcher
-	if !cfg.DisableFrames {
-		batcher = newStoreBatcher(sendFrame, reg, cfg.NodeID, cfg.Tracer)
-	}
-
 	// Flight accounting: master-stamped pings measured against this node's
 	// clock, corrected by the handshake's offset estimate. The baseline
 	// projects only this run's flight time into the report (the registry
@@ -204,37 +207,95 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 	hFlight := reg.Histogram(obs.MStageFlightNs)
 	flightBase := hFlight.SumNs()
 
-	node, err := runtime.NewNode(prog, runtime.Options{
-		Workers:       cfg.Cores,
-		MaxAge:        cfg.MaxAge,
-		KernelMaxAge:  cfg.KernelMaxAge,
-		Granularity:   cfg.Granularity,
-		Output:        cfg.Output,
-		RemoteKernels: remote,
-		NoAutoQuiesce: true,
-		Metrics:       reg,
-		Tracer:        cfg.Tracer,
-		OnStore: func(sn runtime.StoreNotice) {
-			sent.Add(1)
-			if batcher != nil {
-				if err := batcher.add(sn); err != nil {
-					send(&Msg{Kind: MError, Err: err.Error()})
-					select {
-					case sendErr <- err:
-					default:
-					}
-				}
-				return
+	// The node (and its batcher) is rebuilt from scratch whenever the
+	// master reassigns kernels after a peer's death, so construction lives
+	// in a closure. rep/runErr are written by the run goroutine strictly
+	// before close(runDone) and read only after it, so rebuilds are
+	// race-free.
+	var (
+		node    *runtime.Node
+		batcher *storeBatcher
+		runDone chan struct{}
+		rep     *runtime.Report
+		runErr  error
+	)
+	buildNode := func(kernels []string, failover bool) error {
+		local := map[string]bool{}
+		for _, k := range kernels {
+			local[k] = true
+		}
+		remote := map[string]bool{}
+		for _, k := range prog.Kernels {
+			if !local[k.Name] {
+				remote[k.Name] = true
 			}
-			send(&Msg{Kind: MStore, Store: sn})
-		},
-		OnKernelDone: func(kernel string, age int) {
-			sent.Add(1)
-			batcher.flushAll()
-			send(&Msg{Kind: MDone, Kernel: kernel, Age: age})
-		},
-	})
-	if err != nil {
+		}
+		// The store batcher coalesces per-row notices into whole-generation
+		// MStoreFrame messages; it is flushed before every MDone (keeping
+		// the per-origin stores-before-done order) and on every ping
+		// (bounding how long an incomplete generation can sit unsent). With
+		// a tracer it also stamps each frame with a causal trace id and
+		// records the emit span.
+		batcher = nil
+		if !cfg.DisableFrames {
+			batcher = newStoreBatcher(sendFrame, reg, cfg.NodeID, cfg.Tracer)
+		}
+		b := batcher
+		n, err := runtime.NewNode(prog, runtime.Options{
+			Workers:       cfg.Cores,
+			MaxAge:        cfg.MaxAge,
+			KernelMaxAge:  cfg.KernelMaxAge,
+			Granularity:   cfg.Granularity,
+			Output:        cfg.Output,
+			RemoteKernels: remote,
+			NoAutoQuiesce: true,
+			Metrics:       reg,
+			Tracer:        cfg.Tracer,
+			MergeStores:   failover,
+			OnStore: func(sn runtime.StoreNotice) {
+				sent.Add(1)
+				if b != nil {
+					if err := b.add(sn); err != nil {
+						send(&Msg{Kind: MError, Err: err.Error()})
+						select {
+						case sendErr <- err:
+						default:
+						}
+					}
+					return
+				}
+				send(&Msg{Kind: MStore, Store: sn})
+			},
+			OnKernelDone: func(kernel string, age int) {
+				sent.Add(1)
+				b.flushAll()
+				send(&Msg{Kind: MDone, Kernel: kernel, Age: age})
+			},
+		})
+		if err != nil {
+			return err
+		}
+		node = n
+		return nil
+	}
+	startRun := func() {
+		done := make(chan struct{})
+		runDone = done
+		n := node
+		go func() {
+			r, err := n.Run()
+			rep, runErr = r, err
+			close(done)
+			// A failed run can end before the master requests a stop; report
+			// it proactively so the cluster shuts down instead of waiting for
+			// a quiescence that can never be detected.
+			if err != nil {
+				send(&Msg{Kind: MError, Err: err.Error()})
+			}
+		}()
+	}
+
+	if err := buildNode(assign.Kernels, assign.Failover); err != nil {
 		send(&Msg{Kind: MError, Err: err.Error()})
 		return nil, err
 	}
@@ -247,20 +308,11 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 	// Clock-sync result: offset is this node's clock minus the master's, so
 	// master-equivalent local time is local − offset.
 	clockOffset, synced := start.OffsetNs, start.Synced
+	if cfg.IdleTimeout > 0 {
+		SetConnIdleTimeout(conn, cfg.IdleTimeout)
+	}
 
-	runDone := make(chan struct{})
-	var rep *runtime.Report
-	var runErr error
-	go func() {
-		rep, runErr = node.Run()
-		close(runDone)
-		// A failed run can end before the master requests a stop; report
-		// it proactively so the cluster shuts down instead of waiting for
-		// a quiescence that can never be detected.
-		if runErr != nil {
-			send(&Msg{Kind: MError, Err: runErr.Error()})
-		}
-	}()
+	startRun()
 	// teardown stops the local run and returns its field generations to the
 	// slab pools; every exit path below goes through it (a long-lived worker
 	// process runs many programs over one process lifetime).
@@ -296,13 +348,73 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 		}
 	}()
 
+	// stopAndReport runs the orderly shutdown the master requested: stop the
+	// node, surface a failed run, fold transport totals into the report and
+	// ship it. Reached from MStopReq and from a send failure that raced one.
+	stopAndReport := func() (*runtime.Report, error) {
+		node.Stop()
+		<-runDone
+		if runErr != nil {
+			send(&Msg{Kind: MError, Err: runErr.Error()})
+			node.Release()
+			return rep, runErr
+		}
+		if st := updateTransport(); rep != nil {
+			rep.SentMsgs = st.SentMsgs
+			rep.RecvMsgs = st.RecvMsgs
+			rep.SentBytes = st.SentBytes
+			rep.RecvBytes = st.RecvBytes
+			if rep.Stages != nil {
+				rep.Stages.FlightNs = hFlight.SumNs() - flightBase
+			}
+		}
+		send(&Msg{Kind: MReport, Report: rep})
+		// Release only after the report is out: a long-lived worker
+		// (cmd/p2g-worker) reuses the slab pools for its next program.
+		node.Release()
+		return rep, nil
+	}
+
 	for {
 		var in recvMsg
+		// Prefer inbound traffic over a pending send failure: when the
+		// master stops and closes in one breath, a status send can fail
+		// just before the already-queued MStopReq is read, and the stop
+		// (clean teardown through the normal path) must win over reporting
+		// that race as an error. A genuinely dead master still surfaces —
+		// nothing more arrives, so the send failure is selected next.
 		select {
-		case err := <-sendErr:
-			teardown()
-			return rep, fmt.Errorf("dist: sending to master: %w", err)
 		case in = <-recvCh:
+		default:
+			select {
+			case err := <-sendErr:
+				// The failure may have raced a stop the master issued just
+				// before the link broke (stop, then close — with this send
+				// already failing). Drain what the connection still delivers
+				// for a bounded moment: an in-flight MStopReq means this is
+				// an orderly shutdown, not a dead link.
+				grace := time.NewTimer(250 * time.Millisecond)
+				for {
+					select {
+					case gin := <-recvCh:
+						if gin.err == nil && gin.m.Kind == MStopReq {
+							grace.Stop()
+							return stopAndReport()
+						}
+						if gin.err != nil {
+							grace.Stop()
+							teardown()
+							return rep, fmt.Errorf("dist: sending to master: %w", err)
+						}
+						// Data racing the failure is moot — the run ends
+						// either way; keep draining within the window.
+					case <-grace.C:
+						teardown()
+						return rep, fmt.Errorf("dist: sending to master: %w", err)
+					}
+				}
+			case in = <-recvCh:
+			}
 		}
 		if in.err != nil {
 			teardown()
@@ -341,6 +453,42 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 				teardown()
 				return rep, err
 			}
+		case MReassign:
+			// A peer died and the master handed this worker a replacement
+			// partition. Tear the node down and rebuild from scratch: the
+			// replayed generations that follow this message (the connection
+			// is FIFO) restore the remote field state, and the local kernels
+			// re-execute from age zero — their stores merge idempotently
+			// into peers that already hold them. Counters restart at zero to
+			// match the master's reset accounting.
+			node.Stop()
+			<-runDone
+			node.Release()
+			if runErr != nil {
+				return rep, runErr
+			}
+			// Re-execution only reproduces the lost stores if the kernels
+			// restart from their initial state. A factory-built program is
+			// rebuilt wholesale, so stateful kernel closures — a video
+			// source mid-stream, most importantly — start over instead of
+			// resuming where the torn-down node left them. A directly
+			// injected Prog is reused as-is and must be restartable.
+			if cfg.Factory != nil && m.Spec != "" {
+				built, err := cfg.Factory(m.Spec)
+				if err != nil {
+					err = fmt.Errorf("dist: rebuilding program %q: %w", m.Spec, err)
+					send(&Msg{Kind: MError, Err: err.Error()})
+					return rep, err
+				}
+				prog = built
+			}
+			sent.Store(0)
+			received.Store(0)
+			if err := buildNode(m.Kernels, m.Failover); err != nil {
+				send(&Msg{Kind: MError, Err: err.Error()})
+				return rep, err
+			}
+			startRun()
 		case MPing:
 			if synced && m.SentNs != 0 {
 				// Master→worker flight: the ping's master-clock stamp
@@ -373,27 +521,7 @@ func RunWorker(cfg WorkerConfig, conn Conn) (*runtime.Report, error) {
 			}
 			send(&Msg{Kind: MSnapshot, Field: m.Field, Age: m.Age, Arr: arr})
 		case MStopReq:
-			node.Stop()
-			<-runDone
-			if runErr != nil {
-				send(&Msg{Kind: MError, Err: runErr.Error()})
-				node.Release()
-				return rep, runErr
-			}
-			if st := updateTransport(); rep != nil {
-				rep.SentMsgs = st.SentMsgs
-				rep.RecvMsgs = st.RecvMsgs
-				rep.SentBytes = st.SentBytes
-				rep.RecvBytes = st.RecvBytes
-				if rep.Stages != nil {
-					rep.Stages.FlightNs = hFlight.SumNs() - flightBase
-				}
-			}
-			send(&Msg{Kind: MReport, Report: rep})
-			// Release only after the report is out: a long-lived worker
-			// (cmd/p2g-worker) reuses the slab pools for its next program.
-			node.Release()
-			return rep, nil
+			return stopAndReport()
 		default:
 			teardown()
 			return rep, fmt.Errorf("dist: unexpected %v from master", m.Kind)

@@ -31,6 +31,13 @@ type Field struct {
 	mu     sync.RWMutex
 	ages   map[int]*ageStore
 	minAge int // ages below this have been garbage collected
+
+	// merge relaxes write-once enforcement for failover replay: a store to
+	// an already-written position, or to a completed age, is silently
+	// skipped instead of erroring. Replayed generations and re-executed
+	// deterministic kernels then merge into identical state. See
+	// SetMergeStores.
+	merge bool
 }
 
 // ageStore holds one generation of field data.
@@ -161,6 +168,19 @@ func (f *Field) Rank() int { return f.rank }
 
 // Aged reports whether the field was declared with the `age` attribute.
 func (f *Field) Aged() bool { return f.aged }
+
+// SetMergeStores toggles merge-tolerant stores. With merge on, a store that
+// would violate write-once (position already written, or the age already
+// marked complete) becomes a silent no-op instead of an error: replaying a
+// generation or re-executing a deterministic kernel after a node failure is
+// then idempotent at the storage layer. The cost is that genuine write-twice
+// program errors are masked while the mode is on, so the runtime only enables
+// it when failover is requested.
+func (f *Field) SetMergeStores(on bool) {
+	f.mu.Lock()
+	f.merge = on
+	f.mu.Unlock()
+}
 
 func (f *Field) age(a int, create bool) *ageStore {
 	if !f.aged && a != 0 {
@@ -298,6 +318,9 @@ func (f *Field) Store(age int, v Value, idx ...int) (StoreResult, error) {
 	defer f.mu.Unlock()
 	s := f.age(age, true)
 	if s.complete {
+		if f.merge {
+			return StoreResult{}, nil
+		}
 		return StoreResult{}, fmt.Errorf("field %s(%d): store after age marked complete", f.name, age)
 	}
 	grew := false
@@ -321,6 +344,12 @@ func (f *Field) Store(age int, v Value, idx ...int) (StoreResult, error) {
 	}
 	off := s.flatten(idx)
 	if s.written[off] {
+		if f.merge {
+			if grew {
+				return s.growResult(0)
+			}
+			return StoreResult{}, nil
+		}
 		return StoreResult{}, fmt.Errorf("field %s(%d)%v: %w", f.name, age, idx, ErrWriteTwice)
 	}
 	s.data.set(f.kind, off, v)
@@ -343,6 +372,9 @@ func (f *Field) StoreAll(age int, a *Array) (StoreResult, error) {
 	defer f.mu.Unlock()
 	s := f.age(age, true)
 	if s.complete {
+		if f.merge {
+			return StoreResult{}, nil
+		}
 		return StoreResult{}, fmt.Errorf("field %s(%d): store after age marked complete", f.name, age)
 	}
 	grew := false
@@ -378,14 +410,19 @@ func (f *Field) StoreAll(age int, a *Array) (StoreResult, error) {
 	// General path: walk the array in row-major order and map into the
 	// (possibly larger) field extents.
 	idx := make([]int, f.rank)
+	count := 0
 	for flat := 0; flat < n; flat++ {
 		off := s.flatten(idx)
 		if s.written[off] {
-			return StoreResult{}, fmt.Errorf("field %s(%d)%v: %w", f.name, age, idx, ErrWriteTwice)
+			if !f.merge {
+				return StoreResult{}, fmt.Errorf("field %s(%d)%v: %w", f.name, age, idx, ErrWriteTwice)
+			}
+		} else {
+			s.data.set(f.kind, off, a.data.get(a.kind, flat))
+			s.written[off] = true
+			s.writes++
+			count++
 		}
-		s.data.set(f.kind, off, a.data.get(a.kind, flat))
-		s.written[off] = true
-		s.writes++
 		for d := f.rank - 1; d >= 0; d-- {
 			idx[d]++
 			if idx[d] < a.Extent(d) {
@@ -395,9 +432,9 @@ func (f *Field) StoreAll(age int, a *Array) (StoreResult, error) {
 		}
 	}
 	if grew {
-		return s.growResult(n)
+		return s.growResult(count)
 	}
-	return StoreResult{Count: n}, nil
+	return StoreResult{Count: count}, nil
 }
 
 func extentsEqual(a, b []int) bool {
@@ -446,6 +483,9 @@ func (f *Field) StoreSlice(age int, sel []SlabDim, a *Array) (StoreResult, error
 	defer f.mu.Unlock()
 	s := f.age(age, true)
 	if s.complete {
+		if f.merge {
+			return StoreResult{}, nil
+		}
 		return StoreResult{}, fmt.Errorf("field %s(%d): store after age marked complete", f.name, age)
 	}
 	// Required extent per dimension: fixed index + 1, or the array's extent
@@ -516,18 +556,29 @@ func (f *Field) StoreSlice(age int, sel []SlabDim, a *Array) (StoreResult, error
 			}
 			base = base*s.extents[d] + i
 		}
+		overlap := false
 		for i := base; i < base+n; i++ {
 			if s.written[i] {
-				return StoreResult{}, fmt.Errorf("field %s(%d) slice at %d: %w", f.name, age, i, ErrWriteTwice)
+				if !f.merge {
+					return StoreResult{}, fmt.Errorf("field %s(%d) slice at %d: %w", f.name, age, i, ErrWriteTwice)
+				}
+				// Merge mode: an overlapping run needs the element-wise
+				// walk below; undo nothing (no positions marked yet).
+				overlap = true
+				break
 			}
-			s.written[i] = true
 		}
-		s.data.copyRange(base, &a.data, 0, n)
-		s.writes += n
-		if grew {
-			return s.growResult(n)
+		if !overlap {
+			for i := base; i < base+n; i++ {
+				s.written[i] = true
+			}
+			s.data.copyRange(base, &a.data, 0, n)
+			s.writes += n
+			if grew {
+				return s.growResult(n)
+			}
+			return StoreResult{Count: n}, nil
 		}
-		return StoreResult{Count: n}, nil
 	}
 	// General path: walk the array in row-major order, pinning fixed dims.
 	idx := make([]int, f.rank)
@@ -542,14 +593,19 @@ func (f *Field) StoreSlice(age int, sel []SlabDim, a *Array) (StoreResult, error
 			freeDims = append(freeDims, d)
 		}
 	}
+	count := 0
 	for flat := 0; flat < n; flat++ {
 		off := s.flatten(idx)
 		if s.written[off] {
-			return StoreResult{}, fmt.Errorf("field %s(%d)%v: %w", f.name, age, idx, ErrWriteTwice)
+			if !f.merge {
+				return StoreResult{}, fmt.Errorf("field %s(%d)%v: %w", f.name, age, idx, ErrWriteTwice)
+			}
+		} else {
+			s.data.set(f.kind, off, a.data.get(a.kind, flat))
+			s.written[off] = true
+			s.writes++
+			count++
 		}
-		s.data.set(f.kind, off, a.data.get(a.kind, flat))
-		s.written[off] = true
-		s.writes++
 		for k := free - 1; k >= 0; k-- {
 			d := freeDims[k]
 			idx[d]++
@@ -560,9 +616,9 @@ func (f *Field) StoreSlice(age int, sel []SlabDim, a *Array) (StoreResult, error
 		}
 	}
 	if grew {
-		return s.growResult(n)
+		return s.growResult(count)
 	}
-	return StoreResult{Count: n}, nil
+	return StoreResult{Count: count}, nil
 }
 
 // At returns the element at (age, idx...). The second result is false if the

@@ -102,6 +102,13 @@ type Options struct {
 	// the producer-done notifications remote nodes need for completeness.
 	// It is called from the analyzer goroutine.
 	OnKernelDone func(kernel string, age int)
+	// MergeStores relaxes write-once enforcement on every field (see
+	// field.SetMergeStores): duplicate stores are silently skipped rather
+	// than erroring. The distributed runtime enables it under failover so
+	// that replayed generations and re-executed deterministic kernels merge
+	// into identical state; genuine write-twice program errors are masked
+	// while it is on.
+	MergeStores bool
 }
 
 // StoreNotice describes one store operation for distribution to peers.
@@ -285,9 +292,13 @@ func NewNode(p *core.Program, opts Options) (*Node, error) {
 	}
 	n.tracer.CountDropped(n.reg.Counter(obs.MTraceDropped))
 	for _, fd := range p.Fields {
+		fl := field.New(fd.Name, fd.Kind, fd.Rank, fd.Aged)
+		if opts.MergeStores {
+			fl.SetMergeStores(true)
+		}
 		n.fields[fd.Name] = &fieldState{
 			decl: fd,
-			f:    field.New(fd.Name, fd.Kind, fd.Rank, fd.Aged),
+			f:    fl,
 			ages: make(map[int]*fieldAgeState),
 		}
 	}

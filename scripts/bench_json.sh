@@ -38,16 +38,18 @@ emit() {
 	BEGIN { n = 0 }
 	/^Benchmark/ {
 		name = $1; sub(/-[0-9]+$/, "", name)
-		iters = $2; nsop = ""; bop = ""; allocs = ""; wire = ""
+		iters = $2; nsop = ""; bop = ""; allocs = ""; wire = ""; replayed = ""
 		for (i = 3; i < NF; i++) {
 			if ($(i + 1) == "ns/op") nsop = $i
 			if ($(i + 1) == "B/op") bop = $i
 			if ($(i + 1) == "allocs/op") allocs = $i
 			if ($(i + 1) == "wire-B/op") wire = $i
+			if ($(i + 1) == "replayed-gens/op") replayed = $i
 		}
 		line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, iters)
 		if (nsop != "") line = line sprintf(", \"ns_per_op\": %s", nsop)
 		if (wire != "") line = line sprintf(", \"wire_bytes_per_op\": %s", wire)
+		if (replayed != "") line = line sprintf(", \"replayed_gens_per_op\": %s", replayed)
 		if (bop != "") line = line sprintf(", \"bytes_per_op\": %s", bop)
 		if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
 		line = line "}"
